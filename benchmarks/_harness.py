@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark modules (result printing / persistence)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.viz.export import format_table, save_csv, save_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Node-count caps used by the benchmarks (kept small for simulation speed).
+SIM_MAX_NODES = 192          # workloads that go through the cycle simulator
+STATS_MAX_NODES = 256        # workloads only used for structural statistics
+
+
+def emit(name: str, rows: list[dict], extra_json=None) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n=== {name} ===")
+    print(format_table(rows))
+    save_csv(rows, RESULTS_DIR / f"{name}.csv")
+    if extra_json is not None:
+        save_json(extra_json, RESULTS_DIR / f"{name}.json")

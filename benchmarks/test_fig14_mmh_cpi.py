@@ -1,0 +1,62 @@
+"""Figure 14: CPI histograms of the MMH1 / MMH2 / MMH4 / MMH8 instruction
+variants on the Cora workload (Tile-16).
+
+The paper reports rising average CPI with tile size (91, 123, 295, 877 cycles)
+because a wider MMH waits on more operands and dispatches more HACCs, while
+fewer instructions are needed overall; MMH4 is chosen as the sweet spot.
+"""
+
+import pytest
+
+from repro.arch.config import TILE16
+from repro.compiler import compile_spgemm
+from repro.sim.accelerator import NeuraChipAccelerator
+
+from _harness import emit
+
+_TILE_SIZES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def mmh_cpi_results(cora_sim):
+    a_csc = cora_sim.adjacency_csc()
+    features = cora_sim.features(dim=16, density=0.4)
+    results = {}
+    for tile_size in _TILE_SIZES:
+        program = compile_spgemm(a_csc, features, tile_size=tile_size,
+                                 source=f"cora-MMH{tile_size}")
+        report = NeuraChipAccelerator(TILE16).run(program, verify=False)
+        results[tile_size] = report
+    return results
+
+
+def test_fig14_mmh_variant_cpi_histograms(benchmark, cora_sim, mmh_cpi_results):
+    """Time the MMH4 run and regenerate the CPI histogram series."""
+    a_csc = cora_sim.adjacency_csc()
+    features = cora_sim.features(dim=16, density=0.4)
+    program = compile_spgemm(a_csc, features, tile_size=4)
+    benchmark.pedantic(NeuraChipAccelerator(TILE16).run, args=(program,),
+                       kwargs={"verify": False}, rounds=1, iterations=1)
+
+    rows = []
+    histogram_json = {}
+    for tile_size, report in mmh_cpi_results.items():
+        rows.append({
+            "variant": f"MMH{tile_size}",
+            "avg_cpi": round(report.mmh_cpi_mean, 1),
+            "instructions": report.mmh_instructions,
+            "cycles": report.cycles,
+            "gops": round(report.gops, 3),
+        })
+        histogram_json[f"MMH{tile_size}"] = report.mmh_cpi_histogram.as_dict()
+    emit("fig14_mmh_cpi", rows, extra_json=histogram_json)
+
+    # Shape checks: average CPI rises monotonically with the MMH tile size
+    # (paper: 91 -> 123 -> 295 -> 877) while the instruction count falls.
+    cpis = [mmh_cpi_results[t].mmh_cpi_mean for t in _TILE_SIZES]
+    counts = [mmh_cpi_results[t].mmh_instructions for t in _TILE_SIZES]
+    assert cpis == sorted(cpis)
+    assert counts == sorted(counts, reverse=True)
+    # Histograms cover every retired instruction.
+    for tile_size, report in mmh_cpi_results.items():
+        assert report.mmh_cpi_histogram.total_observations == report.mmh_instructions

@@ -1,0 +1,60 @@
+"""Figure 17: GCN-layer speedup of the GNN-mode Tile-16 NeuraChip over prior
+GNN accelerators (EnGN, GROW, HyGCN, FlowGNN) across graph datasets.
+
+The baselines are the analytic models of ``repro.baselines.gnn_accelerators``,
+calibrated so the suite-average speedups match the paper's reported averages
+(29%, 58%, 69%, 30%); the per-dataset spread follows each architecture's
+penalty structure (ring-reducer imbalance, partitioning overhead, pipeline
+stalls, queueing).
+"""
+
+import pytest
+
+from repro.baselines.gnn_accelerators import gnn_speedup_table
+from repro.baselines.workload import GCNWorkloadStats
+from repro.datasets import load_dataset
+from repro.datasets.suite import GNN_SUITE
+from repro.gnn.gcn import GCNWorkload
+
+from _harness import STATS_MAX_NODES, emit
+
+_PAPER_GMEANS = {"EnGN": 1.29, "GROW": 1.58, "HyGCN": 1.69, "FlowGNN": 1.30}
+
+
+@pytest.fixture(scope="module")
+def gcn_workload_stats():
+    stats = []
+    for name in sorted(GNN_SUITE):
+        dataset = load_dataset(name, max_nodes=STATS_MAX_NODES, seed=4)
+        workload = GCNWorkload.build(dataset, feature_dim=64, hidden_dim=16)
+        stats.append(GCNWorkloadStats.from_workload(name, workload.a_hat,
+                                                    workload.features, 16))
+    return stats
+
+
+def test_fig17_gnn_accelerator_speedups(benchmark, gcn_workload_stats):
+    """Regenerate the Figure 17 speedup series and check their shape."""
+    table = benchmark.pedantic(gnn_speedup_table, args=(gcn_workload_stats,),
+                               rounds=1, iterations=1)
+
+    rows = [{"accelerator": name, "gmean": round(per["gmean"], 3),
+             "paper_gmean": _PAPER_GMEANS[name]}
+            for name, per in table.items()]
+    emit("fig17_gnn_speedup_gmeans", rows, extra_json=table)
+    per_dataset_rows = [
+        {"accelerator": name, "dataset": dataset, "speedup": round(value, 3)}
+        for name, per in table.items()
+        for dataset, value in per.items() if dataset != "gmean"
+    ]
+    emit("fig17_gnn_speedup_per_dataset", per_dataset_rows)
+
+    # Shape checks: calibrated averages land on the paper's factors; HyGCN and
+    # GROW (the weakest priors in the paper) trail EnGN and FlowGNN; NeuraChip
+    # is at least competitive on every dataset.
+    for name, target in _PAPER_GMEANS.items():
+        assert table[name]["gmean"] == pytest.approx(target, rel=0.10), name
+    assert table["HyGCN"]["gmean"] > table["EnGN"]["gmean"]
+    assert table["GROW"]["gmean"] > table["FlowGNN"]["gmean"]
+    for name, per in table.items():
+        values = [v for k, v in per.items() if k != "gmean"]
+        assert min(values) > 0.9, name

@@ -1,0 +1,56 @@
+"""Tables 2 and 3: per-component and chip-level configuration of the three
+NeuraChip tile sizes.
+
+These tables are configuration transcriptions rather than measurements; the
+benchmark regenerates them from the :mod:`repro.arch.config` dataclasses and
+checks every derived total against the values printed in the paper.
+"""
+
+import pytest
+
+from repro.arch.config import all_spgemm_configs
+
+from _harness import emit
+
+_PAPER_TABLE3 = {
+    "Tile-4": {"Total NeuraCores": 8, "Total NeuraMems": 8, "Total Routers": 32,
+               "Total Pipelines": 32, "Total Hash-Engines": 16,
+               "Total TAG comparators": 32, "Total HashPad Size (MB)": 0.75,
+               "Pipeline Register File (bits)": 512},
+    "Tile-16": {"Total NeuraCores": 32, "Total NeuraMems": 32, "Total Routers": 64,
+                "Total Pipelines": 128, "Total Hash-Engines": 128,
+                "Total TAG comparators": 512, "Total HashPad Size (MB)": 3.0,
+                "Pipeline Register File (bits)": 1024},
+    "Tile-64": {"Total NeuraCores": 128, "Total NeuraMems": 128,
+                "Total Routers": 256, "Total Pipelines": 512,
+                "Total Hash-Engines": 1024, "Total TAG comparators": 8192,
+                "Total HashPad Size (MB)": 12.0,
+                "Pipeline Register File (bits)": 2048},
+}
+
+
+def test_table2_and_table3_configuration(benchmark):
+    """Regenerate both configuration tables and compare against the paper."""
+    configs = all_spgemm_configs()
+    benchmark.pedantic(lambda: [c.table3_rows() for c in configs],
+                       rounds=10, iterations=1)
+
+    table2_rows = []
+    table3_rows = []
+    for config in configs:
+        for key, value in config.table2_rows().items():
+            table2_rows.append({"config": config.name, "parameter": key,
+                                "value": value})
+        for key, value in config.table3_rows().items():
+            table3_rows.append({"config": config.name, "parameter": key,
+                                "value": value})
+    emit("table2_component_config", table2_rows)
+    emit("table3_chip_config", table3_rows)
+
+    for config in configs:
+        rows = config.table3_rows()
+        for key, expected in _PAPER_TABLE3[config.name].items():
+            assert rows[key] == pytest.approx(expected), (config.name, key)
+        assert rows["Tile Count"] == 8
+        assert rows["Memory Controller Count"] == 8
+        assert rows["Max frequency (GHz)"] == 1.0

@@ -1,0 +1,52 @@
+"""Compute-mapping exploration: hot spots under different hashing schemes.
+
+Reproduces the Figure 12 / 13 analysis: for several sparsity patterns, the
+accumulation tasks of the SpGEMM workload are distributed over the NeuraMem
+units with ring hashing, prime-modular hashing, an ideal random lookup table
+and NeuraChip's Dynamically Reseeding Hash-based Mapping (DRHM), and the
+resulting NeuraCore x NeuraMem heat maps are rendered as ASCII shading.
+
+Run with:  python examples/mapping_exploration.py
+"""
+
+from repro.datasets import load_dataset
+from repro.hashing.balance import mapping_heatmap, summarize_counts
+from repro.viz.export import format_table, heatmap_to_text
+
+MATRICES = ("cora", "facebook", "mario002", "dense")
+SCHEMES = ("ring", "modular", "random", "drhm")
+N_CORES = 16
+N_MEMS = 16
+
+
+def main() -> None:
+    summary_rows = []
+    for name in MATRICES:
+        dataset = load_dataset(name, max_nodes=128)
+        a_csc = dataset.adjacency_csc()
+        a_csr = dataset.adjacency_csr()
+        print(f"\n=== {name}: {dataset.n_nodes} nodes, "
+              f"{dataset.n_edges} non-zeros ===")
+        for scheme in SCHEMES:
+            heatmap = mapping_heatmap(scheme, a_csc, a_csr, N_CORES, N_MEMS)
+            report = summarize_counts(scheme, heatmap.sum(axis=0))
+            summary_rows.append({
+                "matrix": name,
+                "scheme": scheme,
+                "max/mean": round(report.max_over_mean, 2),
+                "gini": round(report.gini, 3),
+            })
+            if scheme in ("ring", "drhm"):
+                print(f"\n[{scheme}] accumulation heat map "
+                      f"(rows = NeuraCores, cols = NeuraMems):")
+                print(heatmap_to_text(heatmap))
+
+    print("\n=== load balance summary (lower is better) ===")
+    print(format_table(summary_rows))
+    print("\nDRHM tracks the ideal random mapping on every pattern, while "
+          "ring/modular hashing concentrate work on a few NeuraMems for "
+          "strided and dense patterns (the paper's hot spots).")
+
+
+if __name__ == "__main__":
+    main()

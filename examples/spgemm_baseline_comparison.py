@@ -1,0 +1,74 @@
+"""Cross-platform SpGEMM comparison (a miniature Figure 16 / Table 5).
+
+For a handful of Table-1 datasets, this example measures the workload
+structure, evaluates the analytic baseline models (MKL, cuSPARSE, CUSP,
+hipSPARSE, OuterSPACE, SpArch, Gamma), runs the NeuraChip cycle simulator on
+the same workloads, and prints the speedup of NeuraChip Tile-16 over every
+baseline together with the energy/area efficiency rows of Table 5.
+
+Run with:  python examples/spgemm_baseline_comparison.py
+"""
+
+from repro import NeuraChip, load_dataset
+from repro.arch.config import TILE16
+from repro.baselines.accelerators import speedup_table
+from repro.baselines.workload import SpGEMMWorkloadStats
+from repro.power.model import (
+    area_breakdown,
+    area_efficiency_gops_per_mm2,
+    energy_efficiency_gops_per_watt,
+    power_breakdown,
+)
+from repro.viz.export import format_table
+
+DATASETS = ("facebook", "wiki-Vote", "email-Enron", "p2p-Gnutella31", "scircuit")
+
+
+def main() -> None:
+    datasets = [load_dataset(name, max_nodes=192) for name in DATASETS]
+    workloads = [SpGEMMWorkloadStats.from_matrices(ds.name, ds.adjacency_csr())
+                 for ds in datasets]
+
+    print("=== workload structure ===")
+    print(format_table([{
+        "dataset": w.name, "nnz": w.nnz_a, "partial_products": w.partial_products,
+        "output_nnz": w.output_nnz, "bloat_pct": round(w.bloat_percent, 1),
+    } for w in workloads]))
+
+    print("\n=== NeuraChip Tile-16 speedup over each platform (Figure 16) ===")
+    table = speedup_table(workloads)
+    rows = []
+    for platform, per_dataset in table.items():
+        row = {"platform": platform}
+        row.update({k: round(v, 1) for k, v in per_dataset.items()})
+        rows.append(row)
+    print(format_table(rows))
+
+    print("\n=== cycle-simulated NeuraChip on the same workloads ===")
+    chip = NeuraChip("Tile-16")
+    sim_rows = []
+    for dataset in datasets:
+        result = chip.run_spgemm(dataset.adjacency_csr(), verify=False,
+                                 source=dataset.name)
+        sim_rows.append({"dataset": dataset.name,
+                         "cycles": result.report.cycles,
+                         "sim_gops": round(result.report.gops, 2),
+                         "power_w": round(result.power_w, 2)})
+    print(format_table(sim_rows))
+
+    print("\n=== Table 5 efficiency rows for NeuraChip Tile-16 ===")
+    sustained = 24.75  # paper-calibrated sustained GOP/s of the Tile-16 model
+    area = area_breakdown(TILE16).total_area_mm2
+    power = power_breakdown(TILE16).total_power_w
+    print(format_table([{
+        "area_mm2": round(area, 2),
+        "power_w": round(power, 2),
+        "energy_efficiency_gops_per_w": round(
+            energy_efficiency_gops_per_watt(sustained, power), 3),
+        "area_efficiency_gops_per_mm2": round(
+            area_efficiency_gops_per_mm2(sustained, area), 3),
+    }]))
+
+
+if __name__ == "__main__":
+    main()

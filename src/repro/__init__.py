@@ -1,0 +1,58 @@
+"""NeuraChip reproduction library.
+
+A from-scratch Python implementation of the NeuraChip hash-based decoupled
+spatial GNN accelerator (Shivdikar et al., ISCA 2024) together with every
+substrate its evaluation depends on: sparse formats and SpGEMM dataflows,
+synthetic dataset generators, mapping algorithms, the NeuraCompiler, the
+NeuraSim cycle-level simulator, analytic baseline models, and the power/area
+model.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.arch import (
+    GNN_TILE16,
+    NeuraChipConfig,
+    TILE16,
+    TILE4,
+    TILE64,
+    get_config,
+)
+from repro.core import GCNRunResult, NeuraChip, SpGEMMRunResult, design_space_sweep
+from repro.compiler import Program, compile_gcn_aggregation, compile_spgemm
+from repro.datasets import GraphDataset, available_datasets, load_dataset
+from repro.sim import (
+    FunctionalAccelerator,
+    NeuraChipAccelerator,
+    SimulationParams,
+    SimulationReport,
+)
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "NeuraChip",
+    "SpGEMMRunResult",
+    "GCNRunResult",
+    "design_space_sweep",
+    "NeuraChipConfig",
+    "TILE4",
+    "TILE16",
+    "TILE64",
+    "GNN_TILE16",
+    "get_config",
+    "Program",
+    "compile_spgemm",
+    "compile_gcn_aggregation",
+    "GraphDataset",
+    "load_dataset",
+    "available_datasets",
+    "NeuraChipAccelerator",
+    "FunctionalAccelerator",
+    "SimulationReport",
+    "SimulationParams",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+]

@@ -1,0 +1,39 @@
+"""Architecture description: NeuraChip configurations and the MMH/HACC ISA."""
+
+from repro.arch.config import (
+    GNN_TILE16,
+    NeuraChipConfig,
+    NeuraCoreConfig,
+    NeuraMemConfig,
+    TILE4,
+    TILE16,
+    TILE64,
+    get_config,
+)
+from repro.arch.isa import (
+    HACCInstruction,
+    MMHInstruction,
+    Opcode,
+    decode_hacc,
+    decode_mmh,
+    encode_hacc,
+    encode_mmh,
+)
+
+__all__ = [
+    "NeuraCoreConfig",
+    "NeuraMemConfig",
+    "NeuraChipConfig",
+    "TILE4",
+    "TILE16",
+    "TILE64",
+    "GNN_TILE16",
+    "get_config",
+    "Opcode",
+    "MMHInstruction",
+    "HACCInstruction",
+    "encode_mmh",
+    "decode_mmh",
+    "encode_hacc",
+    "decode_hacc",
+]

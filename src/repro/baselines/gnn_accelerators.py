@@ -1,0 +1,204 @@
+"""Analytic models of prior GNN accelerators (EnGN, GROW, HyGCN, FlowGNN).
+
+Section 5.4 of the paper compares the GNN-mode Tile-16 NeuraChip against four
+GNN accelerators on GCN layers.  None of their simulators is available
+offline, so each is modelled as: aggregation time + combination time on its
+compute/bandwidth budget, inflated by an architecture-specific penalty that
+captures the weakness the paper discusses:
+
+* **EnGN** — ring-based edge reducer: load imbalance grows with degree skew.
+* **GROW** — row-stationary with graph-partitioning software overhead and
+  prefetch data idling in the streaming buffers.
+* **HyGCN** — hybrid aggregation/combination pipeline: stalls when the two
+  phase durations are unbalanced.
+* **FlowGNN** — dataflow architecture with dynamic pull-based mapping; small
+  queueing overhead, the strongest prior design.
+
+The penalty constants are calibrated so the suite-average NeuraChip speedup
+matches the paper's reported averages (29%, 58%, 69% and 30% respectively);
+the per-dataset spread comes from each penalty's dependence on the workload
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.workload import GCNWorkloadStats
+
+
+@dataclass(frozen=True)
+class GNNAcceleratorModel:
+    """Analytic performance model of a GNN accelerator on one GCN layer.
+
+    Attributes:
+        name: accelerator name as used in Figure 17.
+        peak_gflops: peak compute throughput.
+        bandwidth_gb_s: off-chip bandwidth.
+        base_overhead: constant multiplicative overhead on the ideal time.
+        imbalance_penalty: multiplies the workload degree skew (EnGN-style
+            ring-reducer imbalance).
+        partition_overhead: fixed software preprocessing overhead as a
+            fraction of the ideal time (GROW's graph partitioning).
+        pipeline_stall_penalty: weight on the aggregation/combination phase
+            imbalance (HyGCN's pipeline stalls).
+        reference_speedup: the paper's reported average NeuraChip speedup
+            over this accelerator, used for calibration.
+        calibration_scale: multiplicative factor on the total time, set by
+            :func:`calibrate_gnn_accelerators`.
+    """
+
+    name: str
+    peak_gflops: float
+    bandwidth_gb_s: float
+    base_overhead: float = 1.0
+    imbalance_penalty: float = 0.0
+    partition_overhead: float = 0.0
+    pipeline_stall_penalty: float = 0.0
+    reference_speedup: float = 1.0
+    calibration_scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    def _phase_times(self, stats: GCNWorkloadStats) -> tuple[float, float]:
+        """(aggregation, combination) roofline times in seconds."""
+        agg_compute = stats.aggregation_flops / (self.peak_gflops * 1e9)
+        agg_memory = stats.aggregation_traffic_bytes / (self.bandwidth_gb_s * 1e9)
+        comb_compute = stats.combination_flops / (self.peak_gflops * 1e9)
+        comb_memory = stats.combination_traffic_bytes / (self.bandwidth_gb_s * 1e9)
+        return max(agg_compute, agg_memory), max(comb_compute, comb_memory)
+
+    def execution_time_s(self, stats: GCNWorkloadStats) -> float:
+        """Modelled GCN-layer execution time in seconds."""
+        agg, comb = self._phase_times(stats)
+        ideal = agg + comb
+        penalty = self.base_overhead
+        penalty += self.imbalance_penalty * stats.degree_cv
+        penalty += self.partition_overhead
+        if self.pipeline_stall_penalty > 0.0 and ideal > 0.0:
+            # A perfectly balanced pipeline hides the shorter phase entirely;
+            # imbalance exposes the difference as stall time.
+            stall_fraction = abs(agg - comb) / ideal
+            penalty += self.pipeline_stall_penalty * stall_fraction
+        return ideal * penalty * self.calibration_scale
+
+    def sustained_gflops(self, stats: GCNWorkloadStats) -> float:
+        """Modelled sustained GFLOP/s on the layer."""
+        time = self.execution_time_s(stats)
+        return stats.total_flops / time / 1e9 if time > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Model instances.  Peak numbers follow the corresponding publications at the
+# order-of-magnitude level; the penalty structure is what differentiates them.
+# ----------------------------------------------------------------------
+ENGN = GNNAcceleratorModel(
+    name="EnGN",
+    peak_gflops=6144.0,
+    bandwidth_gb_s=256.0,
+    base_overhead=1.05,
+    imbalance_penalty=0.22,
+    reference_speedup=1.29,
+)
+
+GROW = GNNAcceleratorModel(
+    name="GROW",
+    peak_gflops=4096.0,
+    bandwidth_gb_s=256.0,
+    base_overhead=1.10,
+    partition_overhead=0.35,
+    imbalance_penalty=0.05,
+    reference_speedup=1.58,
+)
+
+HYGCN = GNNAcceleratorModel(
+    name="HyGCN",
+    peak_gflops=4608.0,
+    bandwidth_gb_s=256.0,
+    base_overhead=1.08,
+    pipeline_stall_penalty=0.85,
+    imbalance_penalty=0.08,
+    reference_speedup=1.69,
+)
+
+FLOWGNN = GNNAcceleratorModel(
+    name="FlowGNN",
+    peak_gflops=8192.0,
+    bandwidth_gb_s=256.0,
+    base_overhead=1.06,
+    imbalance_penalty=0.12,
+    reference_speedup=1.30,
+)
+
+
+def neurachip_gnn_model(peak_gflops: float = 8192.0,
+                        bandwidth_gb_s: float = 128.0) -> GNNAcceleratorModel:
+    """Analytic model of the GNN-mode Tile-16 NeuraChip (Section 5.4).
+
+    Decoupled multiply/accumulate components serve both phases, so there is no
+    pipeline-imbalance stall; DRHM keeps the imbalance penalty near zero.
+    """
+    return GNNAcceleratorModel(
+        name="NeuraChip GNN-Tile-16",
+        peak_gflops=peak_gflops,
+        bandwidth_gb_s=bandwidth_gb_s,
+        base_overhead=1.0,
+        imbalance_penalty=0.01,
+        reference_speedup=1.0,
+    )
+
+
+def gnn_accelerators() -> list[GNNAcceleratorModel]:
+    """The four prior GNN accelerators of Figure 17, in paper order."""
+    return [ENGN, GROW, HYGCN, FLOWGNN]
+
+
+def calibrate_gnn_accelerators(models: list[GNNAcceleratorModel],
+                               workloads: list[GCNWorkloadStats],
+                               neurachip: GNNAcceleratorModel | None = None,
+                               ) -> list[GNNAcceleratorModel]:
+    """Scale each model's base overhead so the suite-average NeuraChip speedup
+    equals the paper's reported average (the Figure 17 calibration)."""
+    from dataclasses import replace
+
+    if neurachip is None:
+        neurachip = neurachip_gnn_model()
+    if not workloads:
+        return list(models)
+    calibrated = []
+    reference_times = [neurachip.execution_time_s(stats) for stats in workloads]
+    for model in models:
+        speedups = []
+        for stats, ref_time in zip(workloads, reference_times):
+            time = model.execution_time_s(stats)
+            if ref_time > 0:
+                speedups.append(time / ref_time)
+        if not speedups:
+            calibrated.append(model)
+            continue
+        gmean = float(np.exp(np.mean(np.log(speedups))))
+        scale = model.reference_speedup / gmean if gmean > 0 else 1.0
+        calibrated.append(replace(model,
+                                  calibration_scale=model.calibration_scale * scale))
+    return calibrated
+
+
+def gnn_speedup_table(workloads: list[GCNWorkloadStats],
+                      calibrate: bool = True) -> dict[str, dict[str, float]]:
+    """Per-dataset NeuraChip speedup over each GNN accelerator (Figure 17)."""
+    neurachip = neurachip_gnn_model()
+    models = gnn_accelerators()
+    if calibrate:
+        models = calibrate_gnn_accelerators(models, workloads, neurachip)
+    table: dict[str, dict[str, float]] = {}
+    for model in models:
+        per_dataset = {}
+        for stats in workloads:
+            ref_time = neurachip.execution_time_s(stats)
+            base_time = model.execution_time_s(stats)
+            per_dataset[stats.name] = base_time / ref_time if ref_time > 0 else 0.0
+        values = [v for v in per_dataset.values() if v > 0]
+        per_dataset["gmean"] = float(np.exp(np.mean(np.log(values)))) if values else 0.0
+        table[model.name] = per_dataset
+    return table

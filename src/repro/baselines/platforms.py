@@ -1,0 +1,206 @@
+"""Analytic performance models of the CPU / GPU SpGEMM baselines.
+
+Each platform charges a compute term (useful FLOPs over peak throughput) and
+a memory term (dataflow-specific traffic over memory bandwidth), takes the
+maximum of the two, and divides by a platform *efficiency* constant capturing
+everything the roofline misses (cache behaviour, atomics, kernel overheads,
+load imbalance).  The shipped efficiency constants are calibrated against the
+paper's Table 5 sustained-GOP/s column on the Table-1 dataset suite;
+:func:`calibrate_platforms` re-derives them for any workload collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.baselines.workload import SpGEMMWorkloadStats
+
+
+@dataclass(frozen=True)
+class BaselinePlatform:
+    """Roofline-style performance model of one SpGEMM platform.
+
+    Attributes:
+        name: platform / library name as used in Figure 16.
+        peak_gflops: peak floating-point throughput (Table 5).
+        bandwidth_gb_s: off-chip memory bandwidth (Table 5).
+        on_chip_mb: on-chip memory capacity (Table 5).
+        dataflow: multiplication dataflow ('row_wise', 'outer', 'inner',
+            'gpu_hash', 'decoupled_hash').
+        efficiency: fraction of the roofline bound the platform sustains on
+            hyper-sparse workloads; calibrated to Table 5.
+        reference_gops: the paper's measured sustained SpGEMM GOP/s
+            (Table 5), used as the calibration target.
+        traffic_multiplier: extra factor on the dataflow traffic (e.g.
+            multi-pass symbolic+numeric GPU implementations).
+        imbalance_sensitivity: how strongly the platform degrades with degree
+            skew (0 = insensitive).
+        area_mm2 / power_w / technology_nm: physical data for Table 5.
+    """
+
+    name: str
+    peak_gflops: float
+    bandwidth_gb_s: float
+    on_chip_mb: float
+    dataflow: str
+    efficiency: float
+    reference_gops: float
+    traffic_multiplier: float = 1.0
+    imbalance_sensitivity: float = 0.0
+    area_mm2: float | None = None
+    power_w: float | None = None
+    technology_nm: int | None = None
+    compute_units: str = ""
+    frequency_ghz: float = 1.0
+
+    # ------------------------------------------------------------------
+    def traffic_bytes(self, stats: SpGEMMWorkloadStats) -> float:
+        """Off-chip traffic of this platform's dataflow on the workload."""
+        element = 8.0  # value + index per streamed non-zero
+        inputs = element * (stats.nnz_a + stats.nnz_b)
+        output = element * stats.output_nnz
+        if self.dataflow == "row_wise":
+            # Gustavson: B rows re-streamed once per referencing non-zero of A.
+            streamed = element * stats.partial_products
+            traffic = inputs + streamed + output
+        elif self.dataflow == "outer":
+            # Outer product: every partial product is materialised to memory
+            # and read back at least once for the merge phase.
+            partial_matrices = 2.0 * element * stats.partial_products
+            traffic = inputs + partial_matrices + output
+        elif self.dataflow == "inner":
+            # Inner product: poor input reuse; rows/columns re-fetched per
+            # candidate output element.
+            refetch = element * stats.partial_products * 1.5
+            traffic = inputs * 2.0 + refetch + output
+        elif self.dataflow == "gpu_hash":
+            # Two-pass (symbolic + numeric) hash SpGEMM on GPUs.
+            streamed = element * stats.partial_products
+            traffic = 2.0 * (inputs + streamed) + output
+        elif self.dataflow == "decoupled_hash":
+            # NeuraChip: operands streamed once, partial products stay on chip
+            # in the HashPad, outputs written once on rolling eviction.
+            streamed = element * stats.partial_products
+            counters = 4.0 * stats.output_nnz
+            traffic = inputs + streamed + counters + output
+        else:
+            raise ValueError(f"unknown dataflow {self.dataflow!r}")
+        return traffic * self.traffic_multiplier
+
+    def execution_time_s(self, stats: SpGEMMWorkloadStats) -> float:
+        """Modelled SpGEMM execution time in seconds."""
+        compute_time = stats.useful_flops / (self.peak_gflops * 1e9)
+        memory_time = self.traffic_bytes(stats) / (self.bandwidth_gb_s * 1e9)
+        base = max(compute_time, memory_time)
+        imbalance = 1.0 + self.imbalance_sensitivity * stats.degree_cv
+        return base * imbalance / max(self.efficiency, 1e-9)
+
+    def sustained_gops(self, stats: SpGEMMWorkloadStats) -> float:
+        """Modelled sustained GOP/s (multiply-accumulates per second / 1e9)."""
+        time = self.execution_time_s(stats)
+        return stats.useful_ops / time / 1e9 if time > 0 else 0.0
+
+    def with_efficiency(self, efficiency: float) -> "BaselinePlatform":
+        """Copy of this platform with a different efficiency constant."""
+        return replace(self, efficiency=efficiency)
+
+
+# ----------------------------------------------------------------------
+# Platform definitions (Table 5 columns).  Efficiencies are the shipped
+# calibration against the Table-1 suite at the default benchmark scale.
+# ----------------------------------------------------------------------
+CPU_MKL = BaselinePlatform(
+    name="MKL",
+    peak_gflops=186.0,
+    bandwidth_gb_s=136.0,
+    on_chip_mb=15.0,
+    dataflow="row_wise",
+    efficiency=0.021,
+    reference_gops=1.12,
+    imbalance_sensitivity=0.15,
+    area_mm2=356.0,
+    power_w=85.0,
+    technology_nm=32,
+    compute_units="8 cores AVX2",
+    frequency_ghz=2.9,
+)
+
+GPU_CUSPARSE = BaselinePlatform(
+    name="cuSPARSE",
+    peak_gflops=26_000.0,
+    bandwidth_gb_s=2000.0,
+    on_chip_mb=50.0,
+    dataflow="gpu_hash",
+    efficiency=0.0042,
+    reference_gops=1.45,
+    imbalance_sensitivity=0.35,
+    area_mm2=814.0,
+    power_w=300.0,
+    technology_nm=4,
+    compute_units="7296 FP64 cores",
+    frequency_ghz=1.6,
+)
+
+GPU_CUSP = BaselinePlatform(
+    name="CUSP",
+    peak_gflops=26_000.0,
+    bandwidth_gb_s=2000.0,
+    on_chip_mb=50.0,
+    dataflow="row_wise",
+    efficiency=0.0042,
+    reference_gops=1.86,
+    imbalance_sensitivity=0.30,
+    area_mm2=814.0,
+    power_w=300.0,
+    technology_nm=4,
+    compute_units="7296 FP64 cores",
+    frequency_ghz=1.6,
+)
+
+GPU_HIPSPARSE = BaselinePlatform(
+    name="hipSPARSE",
+    peak_gflops=11_500.0,
+    bandwidth_gb_s=1200.0,
+    on_chip_mb=8.0,
+    dataflow="gpu_hash",
+    efficiency=0.0055,
+    reference_gops=1.48,
+    imbalance_sensitivity=0.35,
+    area_mm2=750.0,
+    power_w=300.0,
+    technology_nm=7,
+    compute_units="7680 FP64 cores",
+    frequency_ghz=1.5,
+)
+
+
+def spgemm_platforms() -> list[BaselinePlatform]:
+    """The four off-the-shelf platforms of Figure 16, in paper order."""
+    return [CPU_MKL, GPU_CUSPARSE, GPU_CUSP, GPU_HIPSPARSE]
+
+
+def calibrate_platforms(platforms: list[BaselinePlatform],
+                        workloads: list[SpGEMMWorkloadStats],
+                        ) -> list[BaselinePlatform]:
+    """Re-derive each platform's efficiency so its geometric-mean sustained
+    GOP/s over ``workloads`` equals the paper's Table 5 reference value.
+
+    This keeps the *average* platform throughput pinned to the paper while the
+    per-workload spread is produced by the dataflow traffic model, which is
+    exactly the calibration described in DESIGN.md.
+    """
+    if not workloads:
+        return list(platforms)
+    calibrated = []
+    for platform in platforms:
+        gops = [platform.sustained_gops(stats) for stats in workloads]
+        gops = [g for g in gops if g > 0]
+        if not gops:
+            calibrated.append(platform)
+            continue
+        gmean = float(np.exp(np.mean(np.log(gops))))
+        scale = platform.reference_gops / gmean if gmean > 0 else 1.0
+        calibrated.append(platform.with_efficiency(platform.efficiency * scale))
+    return calibrated

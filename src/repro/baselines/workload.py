@@ -1,0 +1,134 @@
+"""Workload statistics consumed by the analytic baseline models.
+
+All baseline models derive execution time from the same structural statistics
+of the workload — operand non-zeros, partial products, output non-zeros,
+degree skew — so that every platform is evaluated on exactly the same problem
+instance (the synthetic, possibly scaled-down dataset), making the speedup
+ratios scale-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.bloat import partial_product_count
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.symbolic import symbolic_spgemm
+
+
+@dataclass(frozen=True)
+class SpGEMMWorkloadStats:
+    """Structural statistics of one SpGEMM workload C = A @ B.
+
+    Attributes:
+        name: workload name (dataset).
+        rows / inner_dim / cols: matrix dimensions.
+        nnz_a / nnz_b: operand non-zeros.
+        partial_products: intermediate partial products (Equation 1 numerator).
+        output_nnz: non-zeros of the product.
+        bloat_percent: Equation 1 value.
+        avg_b_row_nnz: average non-zeros per referenced row of B.
+        degree_cv: coefficient of variation of A's row-degree distribution
+            (captures sparsity-pattern skew; drives load-imbalance penalties).
+    """
+
+    name: str
+    rows: int
+    inner_dim: int
+    cols: int
+    nnz_a: int
+    nnz_b: int
+    partial_products: int
+    output_nnz: int
+    bloat_percent: float
+    avg_b_row_nnz: float
+    degree_cv: float
+
+    @classmethod
+    def from_matrices(cls, name: str, a_csr: CSRMatrix,
+                      b_csr: CSRMatrix | None = None) -> "SpGEMMWorkloadStats":
+        """Measure the statistics of A @ B (defaults to A @ A)."""
+        if b_csr is None:
+            b_csr = a_csr
+        pp = partial_product_count(a_csr, b_csr)
+        out_nnz = symbolic_spgemm(a_csr, b_csr).nnz
+        bloat = 0.0 if out_nnz == 0 else (pp - out_nnz) / out_nnz * 100.0
+        degrees = a_csr.row_nnz_counts().astype(np.float64)
+        mean_deg = degrees.mean() if degrees.size else 0.0
+        cv = float(degrees.std() / mean_deg) if mean_deg > 0 else 0.0
+        avg_b_row = pp / a_csr.nnz if a_csr.nnz else 0.0
+        return cls(name=name, rows=a_csr.shape[0], inner_dim=a_csr.shape[1],
+                   cols=b_csr.shape[1], nnz_a=a_csr.nnz, nnz_b=b_csr.nnz,
+                   partial_products=pp, output_nnz=out_nnz, bloat_percent=bloat,
+                   avg_b_row_nnz=avg_b_row, degree_cv=cv)
+
+    @property
+    def useful_ops(self) -> int:
+        """Multiply-accumulate operations (the paper's GOP numerator)."""
+        return self.partial_products
+
+    @property
+    def useful_flops(self) -> int:
+        """Floating point operations (2 per multiply-accumulate)."""
+        return 2 * self.partial_products
+
+    @property
+    def density_a(self) -> float:
+        cells = self.rows * self.inner_dim
+        return self.nnz_a / cells if cells else 0.0
+
+
+@dataclass(frozen=True)
+class GCNWorkloadStats:
+    """Structural statistics of one GCN-layer workload.
+
+    The aggregation phase is an SpGEMM (A_hat @ X); the combination phase is a
+    dense GEMM with the weight matrix.
+    """
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    feature_dim: int
+    hidden_dim: int
+    aggregation: SpGEMMWorkloadStats
+    degree_cv: float
+
+    @property
+    def aggregation_flops(self) -> int:
+        return self.aggregation.useful_flops
+
+    @property
+    def combination_flops(self) -> int:
+        return 2 * self.n_nodes * self.feature_dim * self.hidden_dim
+
+    @property
+    def total_flops(self) -> int:
+        return self.aggregation_flops + self.combination_flops
+
+    @property
+    def aggregation_traffic_bytes(self) -> float:
+        """Streaming traffic of the aggregation phase (operands + output)."""
+        agg = self.aggregation
+        return 8.0 * (agg.nnz_a + agg.partial_products + agg.output_nnz)
+
+    @property
+    def combination_traffic_bytes(self) -> float:
+        """Streaming traffic of the dense combination phase."""
+        return 4.0 * (self.n_nodes * self.feature_dim
+                      + self.feature_dim * self.hidden_dim
+                      + self.n_nodes * self.hidden_dim)
+
+    @classmethod
+    def from_workload(cls, name: str, a_hat: CSRMatrix, features: CSRMatrix,
+                      hidden_dim: int) -> "GCNWorkloadStats":
+        """Measure the statistics of a GCN layer on the given operands."""
+        agg = SpGEMMWorkloadStats.from_matrices(name, a_hat, features)
+        degrees = a_hat.row_nnz_counts().astype(np.float64)
+        mean_deg = degrees.mean() if degrees.size else 0.0
+        cv = float(degrees.std() / mean_deg) if mean_deg > 0 else 0.0
+        return cls(name=name, n_nodes=a_hat.shape[0], n_edges=a_hat.nnz,
+                   feature_dim=features.shape[1], hidden_dim=hidden_dim,
+                   aggregation=agg, degree_cv=cv)

@@ -1,0 +1,181 @@
+"""Command-line interface: the Dashboard / NeuraViz replacement.
+
+Four subcommands cover the workflows the paper's WebGUI exposes::
+
+    python -m repro datasets                      # list the dataset suites
+    python -m repro bloat --datasets facebook wiki-Vote
+    python -m repro run --dataset cora --config Tile-16 --max-nodes 192
+    python -m repro gcn --dataset cora --feature-dim 16 --hidden-dim 8
+    python -m repro sweep --dataset cora          # Tile-4/16/64 sweep (Fig. 11)
+
+Every command prints aligned text tables and can optionally write CSV next to
+them with ``--output-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.arch.config import all_spgemm_configs
+from repro.core.api import NeuraChip, design_space_sweep
+from repro.datasets.suite import GNN_SUITE, TABLE1_SUITE, load_dataset
+from repro.sparse.bloat import bloat_report
+from repro.viz.export import format_table, save_csv
+
+
+def _maybe_save(rows: list[dict], output_dir: str | None, name: str) -> None:
+    if output_dir:
+        path = save_csv(rows, Path(output_dir) / f"{name}.csv")
+        print(f"[saved {path}]")
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """List every registered dataset with its paper metadata."""
+    rows = []
+    for suite_name, suite in (("Table-1", TABLE1_SUITE), ("GNN", GNN_SUITE)):
+        for spec in suite.values():
+            rows.append({
+                "suite": suite_name,
+                "dataset": spec.name,
+                "family": spec.family,
+                "paper_nodes": spec.paper_nodes,
+                "paper_edges": spec.paper_edges,
+                "paper_sparsity_pct": spec.paper_sparsity_percent,
+            })
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, "datasets")
+    return 0
+
+
+def cmd_bloat(args: argparse.Namespace) -> int:
+    """Equation-1 memory-bloat analysis (Table 1) for selected datasets."""
+    names = args.datasets or sorted(TABLE1_SUITE)
+    rows = []
+    for name in names:
+        dataset = load_dataset(name, max_nodes=args.max_nodes, seed=args.seed)
+        rows.append(bloat_report(name, dataset.adjacency_csr()).as_row())
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, "bloat")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one SpGEMM (A @ A) workload on the cycle simulator."""
+    dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
+    chip = NeuraChip(args.config, eviction_mode=args.eviction,
+                     mapping_scheme=args.mapping)
+    result = chip.run_spgemm(dataset.adjacency_csr(), tile_size=args.tile_size,
+                             verify=not args.no_verify, source=dataset.name)
+    report = result.report
+    rows = [{
+        "dataset": dataset.name,
+        "config": chip.config.name,
+        "cycles": report.cycles,
+        "gops": round(report.gops, 3),
+        "mmh_cpi": round(report.mmh_cpi_mean, 1),
+        "hacc_cpi": round(report.hacc_cpi_mean, 1),
+        "stall_cycles": report.stall_cycles,
+        "traffic_kib": round(report.memory_traffic_bytes / 1024, 1),
+        "power_w": round(result.power_w, 2),
+        "verified": report.correct,
+        "sim_kcps": round(report.simulation_kcps, 1),
+    }]
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, f"run_{dataset.name}_{chip.config.name}")
+    return 0 if report.correct in (True, None) else 1
+
+
+def cmd_gcn(args: argparse.Namespace) -> int:
+    """Run one GCN layer (aggregation on the accelerator)."""
+    dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
+    chip = NeuraChip(args.config)
+    result = chip.run_gcn_layer(dataset, feature_dim=args.feature_dim,
+                                hidden_dim=args.hidden_dim)
+    rows = [{
+        "dataset": dataset.name,
+        "config": chip.config.name,
+        "aggregation_cycles": result.aggregation.report.cycles,
+        "combination_cycles": round(result.combination_cycles, 1),
+        "total_cycles": round(result.total_cycles, 1),
+        "aggregation_verified": result.aggregation.correct,
+        "output_shape": str(result.output.shape),
+    }]
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, f"gcn_{dataset.name}_{chip.config.name}")
+    return 0 if result.aggregation.correct in (True, None) else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Tile-size design-space sweep (the Figure 11 series)."""
+    dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
+    sweep = design_space_sweep(dataset.adjacency_csr(),
+                               configs=[c.name for c in all_spgemm_configs()],
+                               normalize_to=None if args.raw else "Tile-4")
+    rows = [{"config": name, **{k: round(v, 3) for k, v in metrics.items()}}
+            for name, metrics in sweep.items()]
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, f"sweep_{dataset.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuraChip reproduction command-line interface")
+    parser.add_argument("--output-dir", default=None,
+                        help="write result tables as CSV into this directory")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = subparsers.add_parser("datasets", help="list the dataset suites")
+    p_datasets.set_defaults(func=cmd_datasets)
+
+    def add_common(sub):
+        sub.add_argument("--max-nodes", type=int, default=256,
+                         help="node-count cap for the synthetic graph")
+        sub.add_argument("--seed", type=int, default=0)
+
+    p_bloat = subparsers.add_parser("bloat", help="Table-1 memory-bloat analysis")
+    p_bloat.add_argument("--datasets", nargs="*", default=None)
+    add_common(p_bloat)
+    p_bloat.set_defaults(func=cmd_bloat)
+
+    p_run = subparsers.add_parser("run", help="simulate one SpGEMM workload")
+    p_run.add_argument("--dataset", default="cora")
+    p_run.add_argument("--config", default="Tile-16")
+    p_run.add_argument("--tile-size", type=int, default=None)
+    p_run.add_argument("--eviction", choices=("rolling", "barrier"),
+                       default="rolling")
+    p_run.add_argument("--mapping", choices=("ring", "modular", "random", "drhm"),
+                       default=None)
+    p_run.add_argument("--no-verify", action="store_true")
+    add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_gcn = subparsers.add_parser("gcn", help="simulate one GCN layer")
+    p_gcn.add_argument("--dataset", default="cora")
+    p_gcn.add_argument("--config", default="Tile-16")
+    p_gcn.add_argument("--feature-dim", type=int, default=16)
+    p_gcn.add_argument("--hidden-dim", type=int, default=8)
+    add_common(p_gcn)
+    p_gcn.set_defaults(func=cmd_gcn)
+
+    p_sweep = subparsers.add_parser("sweep", help="tile-size design-space sweep")
+    p_sweep.add_argument("--dataset", default="cora")
+    p_sweep.add_argument("--raw", action="store_true",
+                         help="report raw values instead of Tile-4-normalised")
+    add_common(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

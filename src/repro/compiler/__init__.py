@@ -1,0 +1,25 @@
+"""NeuraCompiler: lowers SpGEMM / GCN aggregation onto the NeuraChip ISA.
+
+The compiler mirrors the paper's NeuraCompiler module: it takes the adjacency
+matrix (CSC) and the feature matrix (CSR), runs a symbolic pass to obtain the
+rolling-eviction counters, lays the operands out in a virtual HBM address
+space, and emits a stream of MMH macro-operations, each of which expands to up
+to ``tile_size**2`` HACC operations at execution time.
+"""
+
+from repro.compiler.program import (
+    AddressMap,
+    HACCMacroOp,
+    MMHMacroOp,
+    Program,
+)
+from repro.compiler.lowering import compile_spgemm, compile_gcn_aggregation
+
+__all__ = [
+    "AddressMap",
+    "MMHMacroOp",
+    "HACCMacroOp",
+    "Program",
+    "compile_spgemm",
+    "compile_gcn_aggregation",
+]

@@ -1,0 +1,149 @@
+"""Lowering: SpGEMM / GCN aggregation -> MMH macro-op stream.
+
+The lowering follows Section 3.1 of the paper: the adjacency matrix is taken
+in CSC, the feature matrix in CSR, and the output is produced one group of
+``tile_size`` rows at a time (the paper's enhancement of Gustavson's
+row-stationary order).  Within a row group, each column k of A that has
+non-zeros in those rows contributes up to ``tile_size`` A-elements, which are
+paired with up to ``tile_size`` elements of row k of B — one MMH instruction
+per pairing, dispatching up to ``tile_size**2`` HACC instructions.
+
+Processing whole row groups before moving on is what keeps hash lines short
+lived: every contribution to an output element arrives while its row group is
+being processed, so the rolling-eviction counter reaches zero quickly and the
+HashPad stays small.  A symbolic pass provides the rolling counters placed in
+memory for the NeuraCores to read (Algorithm 1, line 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import MMHInstruction, Opcode
+from repro.compiler.program import AddressMap, ELEMENT_BYTES, MMHMacroOp, Program
+from repro.sparse.convert import csc_to_csr
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.symbolic import symbolic_spgemm_from_csc
+
+#: 22-bit register fields of the MMH instruction limit the per-instruction
+#: operand offsets; the compiler re-bases against the 32-bit base address.
+_OFFSET_LIMIT = (1 << 22) - 1
+
+
+def _clamp_offset(offset: int) -> int:
+    """Fit an operand offset into the 22-bit MMH register field."""
+    return offset & _OFFSET_LIMIT
+
+
+def compile_spgemm(a_csc: CSCMatrix, b_csr: CSRMatrix, tile_size: int = 4,
+                   source: str = "spgemm") -> Program:
+    """Compile C = A @ B into a NeuraChip program.
+
+    Args:
+        a_csc: left operand (adjacency matrix) in CSC.
+        b_csr: right operand (feature matrix) in CSR.
+        tile_size: MMH tile size; must be 1, 2, 4 or 8.
+        source: workload label stored in the program metadata.
+
+    Returns:
+        A :class:`~repro.compiler.program.Program`.
+
+    Raises:
+        ValueError: on dimension mismatch or unsupported tile size.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ValueError(f"dimension mismatch: A is {a_csc.shape}, B is {b_csr.shape}")
+    opcode = Opcode.mmh_for_tile(tile_size)
+
+    symbolic = symbolic_spgemm_from_csc(a_csc, b_csr)
+    address_map = AddressMap.layout(a_csc.nnz, b_csr.nnz, symbolic.nnz)
+
+    # Output elements are laid out in deterministic (row, col) order.
+    output_addrs: dict[tuple[int, int], int] = {}
+    for slot, key in enumerate(sorted(symbolic.entries)):
+        output_addrs[key] = address_map.output_base + slot * ELEMENT_BYTES
+    counter_addrs = {key: address_map.roll_counter_base + slot * ELEMENT_BYTES
+                     for slot, key in enumerate(sorted(symbolic.entries))}
+
+    a_csr = csc_to_csr(a_csc)
+    mmh_ops: list[MMHMacroOp] = []
+    sequence = 0
+    n_rows = a_csc.shape[0]
+    n_row_groups = 0
+    for group_start in range(0, n_rows, tile_size):
+        group_rows = range(group_start, min(group_start + tile_size, n_rows))
+        # Column index k -> list of (row, value) elements of A within the group.
+        column_segments: dict[int, list[tuple[int, float]]] = {}
+        for i in group_rows:
+            cols, vals = a_csr.row(i)
+            for k, v in zip(cols.tolist(), vals.tolist()):
+                column_segments.setdefault(k, []).append((i, float(v)))
+        group_ops: list[MMHMacroOp] = []
+        for k in sorted(column_segments):
+            b_cols, b_vals = b_csr.row(k)
+            if b_cols.size == 0:
+                continue
+            segment = column_segments[k]
+            a_tile_rows = tuple(row for row, _val in segment)
+            a_tile_vals = tuple(val for _row, val in segment)
+            # The group's A elements occupy a contiguous run of column k in CSC.
+            col_rows, _ = a_csc.col(k)
+            a_offset_in_col = int(np.searchsorted(col_rows, a_tile_rows[0]))
+            a_base_offset = (int(a_csc.indptr[k]) + a_offset_in_col) * ELEMENT_BYTES
+            b_base_offset = int(b_csr.indptr[k]) * ELEMENT_BYTES
+            for b_start in range(0, b_cols.size, tile_size):
+                b_tile_cols = tuple(int(c) for c in b_cols[b_start:b_start + tile_size])
+                b_tile_vals = tuple(float(v) for v in b_vals[b_start:b_start + tile_size])
+                first_key = (a_tile_rows[0], b_tile_cols[0])
+                instruction = MMHInstruction(
+                    opcode=opcode,
+                    base_addr=0,
+                    a_data_addr=_clamp_offset(address_map.a_data_base + a_base_offset),
+                    b_col_ind_addr=_clamp_offset(address_map.b_col_ind_base
+                                                 + b_base_offset
+                                                 + b_start * ELEMENT_BYTES),
+                    b_data_addr=_clamp_offset(address_map.b_data_base + b_base_offset
+                                              + b_start * ELEMENT_BYTES),
+                    roll_counter_addr=_clamp_offset(counter_addrs[first_key]),
+                )
+                group_ops.append(MMHMacroOp(
+                    opcode=opcode, k=k,
+                    a_rows=a_tile_rows, a_values=a_tile_vals,
+                    b_cols=b_tile_cols, b_values=b_tile_vals,
+                    instruction=instruction, sequence=sequence,
+                ))
+                sequence += 1
+        if group_ops:
+            n_row_groups += 1
+            # Mark the DRHM reseed boundary on the last op of the row group.
+            last = group_ops[-1]
+            group_ops[-1] = MMHMacroOp(
+                opcode=last.opcode, k=last.k, a_rows=last.a_rows,
+                a_values=last.a_values, b_cols=last.b_cols,
+                b_values=last.b_values, instruction=last.instruction,
+                reseed_after=True, sequence=last.sequence,
+            )
+            mmh_ops.extend(group_ops)
+
+    return Program(
+        mmh_ops=mmh_ops,
+        counters=dict(symbolic.entries),
+        output_addrs=output_addrs,
+        address_map=address_map,
+        shape=symbolic.shape,
+        tile_size=tile_size,
+        a_nnz=a_csc.nnz,
+        b_nnz=b_csr.nnz,
+        total_partial_products=symbolic.total_partial_products,
+        source=source,
+        metadata={"n_row_groups": n_row_groups},
+    )
+
+
+def compile_gcn_aggregation(adjacency_csc: CSCMatrix, features_csr: CSRMatrix,
+                            tile_size: int = 4, dataset: str = "") -> Program:
+    """Compile the aggregation phase of a GCN layer (A @ X) onto NeuraChip."""
+    label = f"gcn-aggregation:{dataset}" if dataset else "gcn-aggregation"
+    return compile_spgemm(adjacency_csc, features_csr, tile_size=tile_size,
+                          source=label)

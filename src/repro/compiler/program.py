@@ -1,0 +1,262 @@
+"""Program representation: MMH / HACC macro-operations and the address map.
+
+The cycle simulator consumes *macro-ops*: decoded instructions that carry both
+the architectural fields (operand addresses, as encoded by
+:mod:`repro.arch.isa`) and the semantic payload (the actual operand values)
+so that the simulation can verify numerical correctness of the accelerator
+output against a software reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.isa import (
+    HACCInstruction,
+    MMHInstruction,
+    Opcode,
+    encode_hacc,
+    encode_mmh,
+)
+
+#: Bytes per matrix element in the virtual HBM layout (fp32 value or int32 index).
+ELEMENT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Byte layout of the operands in the accelerator's HBM address space.
+
+    The regions are laid out back to back: A values, A row indices, B column
+    indices, B values, rolling counters, and the output C region.
+    """
+
+    a_data_base: int
+    a_indices_base: int
+    b_col_ind_base: int
+    b_data_base: int
+    roll_counter_base: int
+    output_base: int
+    total_bytes: int
+
+    @classmethod
+    def layout(cls, a_nnz: int, b_nnz: int, output_nnz: int) -> "AddressMap":
+        """Assign contiguous regions for the operand arrays."""
+        cursor = 0
+        a_data_base = cursor
+        cursor += a_nnz * ELEMENT_BYTES
+        a_indices_base = cursor
+        cursor += a_nnz * ELEMENT_BYTES
+        b_col_ind_base = cursor
+        cursor += b_nnz * ELEMENT_BYTES
+        b_data_base = cursor
+        cursor += b_nnz * ELEMENT_BYTES
+        roll_counter_base = cursor
+        cursor += output_nnz * ELEMENT_BYTES
+        output_base = cursor
+        cursor += output_nnz * ELEMENT_BYTES
+        return cls(a_data_base=a_data_base, a_indices_base=a_indices_base,
+                   b_col_ind_base=b_col_ind_base, b_data_base=b_data_base,
+                   roll_counter_base=roll_counter_base, output_base=output_base,
+                   total_bytes=cursor)
+
+
+@dataclass(frozen=True)
+class HACCMacroOp:
+    """A hash_accumulate operation with its semantic payload.
+
+    Attributes:
+        tag: 32-bit output-element identifier hashed by NeuraMem.
+        value: partial-product value to accumulate.
+        counter: rolling-eviction counter (total contributions to this tag).
+        out_row / out_col: coordinates of the output element.
+        writeback_addr: HBM address the evicted result is written to.
+    """
+
+    tag: int
+    value: float
+    counter: int
+    out_row: int
+    out_col: int
+    writeback_addr: int
+
+    def encode(self) -> int:
+        """Architectural 128-bit encoding (Figure 9)."""
+        return encode_hacc(HACCInstruction(tag=self.tag, data=self.value,
+                                           writeback_addr=self.writeback_addr,
+                                           counter=min(self.counter, 0xFFFF)))
+
+
+@dataclass(frozen=True)
+class MMHMacroOp:
+    """A matrix_mult_hash operation with its semantic payload.
+
+    One MMH pairs up to ``tile_size`` elements of a column of A with up to
+    ``tile_size`` elements of the matching row of B (Section 3.1), producing
+    up to ``tile_size**2`` partial products.
+
+    Attributes:
+        opcode: MMH variant (MMH1/2/4/8).
+        k: the shared inner index (column of A == row of B).
+        a_rows: output-row indices of the A-tile elements.
+        a_values: values of the A-tile elements.
+        b_cols: output-column indices of the B-tile elements.
+        b_values: values of the B-tile elements.
+        instruction: architectural address-form instruction (Figure 7).
+        reseed_after: True when this is the last MMH of an input column, i.e.
+            the point at which DRHM draws a new seed.
+        sequence: position in program order.
+    """
+
+    opcode: Opcode
+    k: int
+    a_rows: tuple[int, ...]
+    a_values: tuple[float, ...]
+    b_cols: tuple[int, ...]
+    b_values: tuple[float, ...]
+    instruction: MMHInstruction
+    reseed_after: bool = False
+    sequence: int = 0
+
+    @property
+    def tile_size(self) -> int:
+        return self.opcode.mmh_tile_size
+
+    @property
+    def n_partial_products(self) -> int:
+        """Actual number of HACC operations this MMH dispatches."""
+        return len(self.a_rows) * len(self.b_cols)
+
+    @property
+    def memory_requests(self) -> int:
+        """Distinct operand fetches issued (A data, B col indices, B data, counters)."""
+        return 4
+
+    def operand_addresses(self) -> dict[str, tuple[int, int]]:
+        """(address, bytes) per operand fetch, for the memory model."""
+        n_a = len(self.a_rows)
+        n_b = len(self.b_cols)
+        instr = self.instruction
+        return {
+            "a_data": (instr.base_addr + instr.a_data_addr, n_a * ELEMENT_BYTES),
+            "b_col_ind": (instr.base_addr + instr.b_col_ind_addr, n_b * ELEMENT_BYTES),
+            "b_data": (instr.base_addr + instr.b_data_addr, n_b * ELEMENT_BYTES),
+            "roll_counter": (instr.base_addr + instr.roll_counter_addr,
+                             n_a * n_b * ELEMENT_BYTES),
+        }
+
+    def expand(self, counters: dict[tuple[int, int], int], n_out_cols: int,
+               output_addrs: dict[tuple[int, int], int]) -> list[HACCMacroOp]:
+        """Expand into HACC macro-ops (Algorithm 1's dispatch loop)."""
+        haccs = []
+        for i, av in zip(self.a_rows, self.a_values):
+            for j, bv in zip(self.b_cols, self.b_values):
+                tag = (i * n_out_cols + j) & 0xFFFFFFFF
+                haccs.append(HACCMacroOp(
+                    tag=tag,
+                    value=av * bv,
+                    counter=counters[(i, j)],
+                    out_row=i,
+                    out_col=j,
+                    writeback_addr=output_addrs[(i, j)],
+                ))
+        return haccs
+
+    def encode(self) -> int:
+        """Architectural 128-bit encoding (Figure 7)."""
+        return encode_mmh(self.instruction)
+
+
+@dataclass
+class Program:
+    """A compiled NeuraChip program.
+
+    Attributes:
+        mmh_ops: the MMH macro-op stream in program order.
+        counters: rolling counter per output coordinate.
+        output_addrs: HBM write-back address per output coordinate.
+        address_map: operand layout in HBM.
+        shape: shape of the output matrix C.
+        tile_size: MMH tile size the program was compiled for.
+        a_nnz / b_nnz: operand non-zero counts (for traffic accounting).
+        total_partial_products: total HACC operations the program dispatches.
+        source: human-readable description of the workload.
+    """
+
+    mmh_ops: list[MMHMacroOp]
+    counters: dict[tuple[int, int], int]
+    output_addrs: dict[tuple[int, int], int]
+    address_map: AddressMap
+    shape: tuple[int, int]
+    tile_size: int
+    a_nnz: int
+    b_nnz: int
+    total_partial_products: int
+    source: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of MMH instructions."""
+        return len(self.mmh_ops)
+
+    @property
+    def output_nnz(self) -> int:
+        """Number of non-zeros in the output matrix."""
+        return len(self.counters)
+
+    @property
+    def bloat_percent(self) -> float:
+        """Equation 1 bloat for this program's workload."""
+        if self.output_nnz == 0:
+            return 0.0
+        return (self.total_partial_products - self.output_nnz) / self.output_nnz * 100.0
+
+    @property
+    def useful_flops(self) -> int:
+        """Useful floating-point operations (multiply + add per partial product)."""
+        return 2 * self.total_partial_products
+
+    def expand_haccs(self, mmh: MMHMacroOp) -> list[HACCMacroOp]:
+        """Expand one MMH of this program into its HACC macro-ops."""
+        return mmh.expand(self.counters, self.shape[1], self.output_addrs)
+
+    def reference_result(self) -> np.ndarray:
+        """Dense reference of the output computed from the macro-op stream."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for mmh in self.mmh_ops:
+            for hacc in self.expand_haccs(mmh):
+                dense[hacc.out_row, hacc.out_col] += hacc.value
+        return dense
+
+    def encode_binary(self) -> bytes:
+        """Serialise the MMH stream to the 128-bit binary format."""
+        blob = bytearray()
+        for op in self.mmh_ops:
+            blob.extend(op.encode().to_bytes(16, "little"))
+        return bytes(blob)
+
+    def validate(self) -> None:
+        """Check program invariants; raise AssertionError when violated.
+
+        * every expanded HACC's counter matches the symbolic counter;
+        * the per-tag number of HACCs equals that counter;
+        * bloat accounting is consistent.
+        """
+        per_tag_counts: dict[tuple[int, int], int] = {}
+        total = 0
+        for mmh in self.mmh_ops:
+            for hacc in self.expand_haccs(mmh):
+                key = (hacc.out_row, hacc.out_col)
+                per_tag_counts[key] = per_tag_counts.get(key, 0) + 1
+                total += 1
+        if total != self.total_partial_products:
+            raise AssertionError("partial product count mismatch")
+        if set(per_tag_counts) != set(self.counters):
+            raise AssertionError("output structure mismatch")
+        for key, count in per_tag_counts.items():
+            if count != self.counters[key]:
+                raise AssertionError(f"counter mismatch at {key}: "
+                                     f"{count} != {self.counters[key]}")

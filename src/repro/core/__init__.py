@@ -1,0 +1,21 @@
+"""High-level NeuraChip API (the paper's primary contribution, packaged).
+
+``repro.core`` is the entry point a downstream user works with: it hides the
+compiler / simulator plumbing behind a :class:`~repro.core.api.NeuraChip`
+facade that runs SpGEMM and GCN-layer workloads on any tile configuration,
+and exposes the design-space sweep used in Section 4.
+"""
+
+from repro.core.api import (
+    GCNRunResult,
+    NeuraChip,
+    SpGEMMRunResult,
+    design_space_sweep,
+)
+
+__all__ = [
+    "NeuraChip",
+    "SpGEMMRunResult",
+    "GCNRunResult",
+    "design_space_sweep",
+]

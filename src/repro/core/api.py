@@ -1,0 +1,285 @@
+"""NeuraChip facade: run SpGEMM / GCN workloads on a configured accelerator.
+
+Typical use::
+
+    from repro.core import NeuraChip
+    from repro.datasets import load_dataset
+
+    chip = NeuraChip("Tile-16")
+    dataset = load_dataset("facebook", max_nodes=256)
+    result = chip.run_spgemm(dataset.adjacency_csr())
+    print(result.report.cycles, result.report.gops)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import NeuraChipConfig, get_config
+from repro.compiler import compile_gcn_aggregation, compile_spgemm
+from repro.compiler.program import Program
+from repro.datasets.suite import GraphDataset
+from repro.gnn.gcn import GCNLayer, GCNWorkload
+from repro.power.model import PowerModel
+from repro.sim.accelerator import NeuraChipAccelerator, SimulationReport
+from repro.sim.functional import FunctionalAccelerator, FunctionalReport
+from repro.sim.params import SimulationParams
+from repro.sparse.convert import coo_to_csr, csr_to_csc, dense_to_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _as_csr(matrix) -> CSRMatrix:
+    """Accept CSR/CSC/COO/dense and return CSR."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, CSCMatrix):
+        return coo_to_csr(matrix.to_coo())
+    if isinstance(matrix, COOMatrix):
+        return coo_to_csr(matrix)
+    if isinstance(matrix, np.ndarray):
+        return coo_to_csr(dense_to_coo(matrix))
+    raise TypeError(f"unsupported matrix type {type(matrix)!r}")
+
+
+@dataclass
+class SpGEMMRunResult:
+    """Result of running one SpGEMM on NeuraChip.
+
+    Attributes:
+        program: the compiled program that was executed.
+        report: cycle-level simulation report (None in functional mode).
+        functional: functional-model report (always populated).
+        output: the product matrix C in CSR.
+        power_w: modelled average power during the run.
+        energy_j: modelled energy of the run.
+    """
+
+    program: Program
+    report: SimulationReport | None
+    functional: FunctionalReport
+    output: CSRMatrix
+    power_w: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def correct(self) -> bool | None:
+        """Whether the cycle simulator's output matched the reference."""
+        return self.report.correct if self.report is not None else None
+
+
+@dataclass
+class GCNRunResult:
+    """Result of running one GCN layer (aggregation on chip, combination modelled).
+
+    Attributes:
+        aggregation: the SpGEMM run result of the aggregation phase.
+        combination_cycles: modelled cycles of the dense combination phase.
+        total_cycles: aggregation + combination cycles.
+        output: dense layer output (after activation).
+        workload: the GCN workload that was executed.
+    """
+
+    aggregation: SpGEMMRunResult
+    combination_cycles: float
+    total_cycles: float
+    output: np.ndarray
+    workload: GCNWorkload | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+class NeuraChip:
+    """User-facing accelerator object bound to one configuration."""
+
+    def __init__(self, config: str | NeuraChipConfig = "Tile-16",
+                 mapping_scheme: str | None = None,
+                 eviction_mode: str = "rolling",
+                 params: SimulationParams | None = None,
+                 mapping_seed: int = 0) -> None:
+        self.config = get_config(config) if isinstance(config, str) else config
+        self.mapping_scheme = mapping_scheme or self.config.mapping_scheme
+        self.eviction_mode = eviction_mode
+        self.params = params or SimulationParams()
+        self.mapping_seed = mapping_seed
+        self._power_model = PowerModel()
+
+    # ------------------------------------------------------------------
+    def compile(self, a_matrix, b_matrix=None,
+                tile_size: int | None = None, source: str = "spgemm") -> Program:
+        """Compile C = A @ B (default B = A) into a NeuraChip program."""
+        a_csr = _as_csr(a_matrix)
+        b_csr = _as_csr(b_matrix) if b_matrix is not None else a_csr
+        a_csc = csr_to_csc(a_csr)
+        return compile_spgemm(a_csc, b_csr,
+                              tile_size=tile_size or self.config.mmh_tile_size,
+                              source=source)
+
+    # ------------------------------------------------------------------
+    def run_spgemm(self, a_matrix, b_matrix=None, tile_size: int | None = None,
+                   mode: str = "cycle", verify: bool = True,
+                   source: str = "spgemm") -> SpGEMMRunResult:
+        """Execute C = A @ B on the accelerator.
+
+        Args:
+            a_matrix: left operand (CSR/CSC/COO or dense numpy array).
+            b_matrix: right operand; defaults to ``a_matrix`` (the A @ A
+                workload of Table 1 / Figure 16).
+            tile_size: MMH tile size override.
+            mode: 'cycle' for the cycle-level simulator, 'functional' for the
+                untimed dataflow model.
+            verify: verify the accelerator output against the reference.
+            source: workload label.
+
+        Returns:
+            A :class:`SpGEMMRunResult`.
+        """
+        if mode not in ("cycle", "functional"):
+            raise ValueError("mode must be 'cycle' or 'functional'")
+        program = self.compile(a_matrix, b_matrix, tile_size=tile_size, source=source)
+        functional = FunctionalAccelerator(self.config, self.mapping_scheme,
+                                           self.mapping_seed).run(program)
+        report: SimulationReport | None = None
+        if mode == "cycle":
+            accelerator = NeuraChipAccelerator(self.config, self.params,
+                                               eviction_mode=self.eviction_mode,
+                                               mapping_scheme=self.mapping_scheme,
+                                               mapping_seed=self.mapping_seed)
+            report = accelerator.run(program, verify=verify)
+        output = coo_to_csr(dense_to_coo(functional.output))
+        power_w, energy_j = self._estimate_power(report)
+        return SpGEMMRunResult(program=program, report=report,
+                               functional=functional, output=output,
+                               power_w=power_w, energy_j=energy_j)
+
+    # ------------------------------------------------------------------
+    def run_gcn_layer(self, dataset: GraphDataset | COOMatrix,
+                      feature_dim: int = 32, hidden_dim: int = 16,
+                      feature_density: float = 0.3, mode: str = "cycle",
+                      verify: bool = True, seed: int = 7) -> GCNRunResult:
+        """Execute one GCN layer: aggregation on the accelerator, combination
+        as a modelled dense phase (Section 2.2's combination stage).
+        """
+        if isinstance(dataset, GraphDataset):
+            workload = GCNWorkload.build(dataset, feature_dim=feature_dim,
+                                         hidden_dim=hidden_dim,
+                                         feature_density=feature_density, seed=seed)
+        else:
+            from repro.datasets.suite import DatasetSpec
+
+            spec = DatasetSpec("custom", "custom", dataset.shape[0],
+                               dataset.nnz, 0.0, None, feature_dim=feature_dim)
+            workload = GCNWorkload.build(GraphDataset(spec, dataset, 1.0),
+                                         feature_dim=feature_dim,
+                                         hidden_dim=hidden_dim,
+                                         feature_density=feature_density, seed=seed)
+
+        a_csc = workload.adjacency_csc
+        program = compile_gcn_aggregation(a_csc, workload.features,
+                                          tile_size=self.config.mmh_tile_size,
+                                          dataset=workload.dataset.name)
+        functional = FunctionalAccelerator(self.config, self.mapping_scheme,
+                                           self.mapping_seed).run(program)
+        report: SimulationReport | None = None
+        if mode == "cycle":
+            accelerator = NeuraChipAccelerator(self.config, self.params,
+                                               eviction_mode=self.eviction_mode,
+                                               mapping_scheme=self.mapping_scheme,
+                                               mapping_seed=self.mapping_seed)
+            report = accelerator.run(program, verify=verify)
+        aggregated = functional.output
+        combined = workload.layer.combination(aggregated)
+        combination_cycles = self._combination_cycles(workload)
+        aggregation_cycles = report.cycles if report is not None else 0.0
+        power_w, energy_j = self._estimate_power(report)
+        aggregation_result = SpGEMMRunResult(
+            program=program, report=report, functional=functional,
+            output=coo_to_csr(dense_to_coo(aggregated)),
+            power_w=power_w, energy_j=energy_j)
+        return GCNRunResult(aggregation=aggregation_result,
+                            combination_cycles=combination_cycles,
+                            total_cycles=aggregation_cycles + combination_cycles,
+                            output=combined,
+                            workload=workload,
+                            metadata={"feature_dim": feature_dim,
+                                      "hidden_dim": hidden_dim})
+
+    # ------------------------------------------------------------------
+    def _combination_cycles(self, workload: GCNWorkload) -> float:
+        """Dense combination phase modelled at the chip's peak throughput,
+        bounded by HBM streaming of the aggregated features."""
+        flops = workload.combination_flops()
+        compute_cycles = flops / max(self.config.peak_gflops, 1e-9)
+        traffic = 4.0 * (workload.dataset.n_nodes
+                         * (workload.layer.in_dim + workload.layer.out_dim))
+        memory_cycles = traffic / max(self.config.peak_bandwidth_bytes_per_cycle, 1e-9)
+        return max(compute_cycles, memory_cycles)
+
+    def _estimate_power(self, report: SimulationReport | None) -> tuple[float, float]:
+        """Average power and energy of a run, from the simulator's activity."""
+        if report is None:
+            return 0.0, 0.0
+        activity = {
+            "NeuraCore": min(1.0, report.core_utilization * 4.0),
+            "NeuraMem": min(1.0, report.mem_utilization * 2.0),
+            "Router": min(1.0, report.noc_flits / max(report.cycles, 1.0)),
+            "Memory Controller": min(1.0, report.avg_inflight_mem / 16.0),
+        }
+        power = self._power_model.power(self.config, activity).total_power_w
+        seconds = report.cycles / (self.config.frequency_ghz * 1e9)
+        return power, power * seconds
+
+    # ------------------------------------------------------------------
+    def power_breakdown(self, report: SimulationReport | None = None):
+        """Table 4 style area/power breakdown for this configuration."""
+        activity = None
+        if report is not None:
+            activity = {
+                "NeuraCore": min(1.0, report.core_utilization * 4.0),
+                "NeuraMem": min(1.0, report.mem_utilization * 2.0),
+                "Router": min(1.0, report.noc_flits / max(report.cycles, 1.0)),
+                "Memory Controller": min(1.0, report.avg_inflight_mem / 16.0),
+            }
+        return self._power_model.combined(self.config, activity)
+
+
+def design_space_sweep(a_matrix, b_matrix=None,
+                       configs: list[str | NeuraChipConfig] = ("Tile-4", "Tile-16",
+                                                               "Tile-64"),
+                       eviction_mode: str = "rolling",
+                       normalize_to: str | None = "Tile-4",
+                       params: SimulationParams | None = None,
+                       ) -> dict[str, dict[str, float]]:
+    """Run the same workload across tile configurations (Figure 11).
+
+    Returns, per configuration, the six Figure 11 metrics (stall cycles, CPI,
+    IPC, in-flight memory instructions, power, busy cycles), optionally
+    normalised to one of the configurations.
+    """
+    raw: dict[str, dict[str, float]] = {}
+    for config in configs:
+        chip = NeuraChip(config, eviction_mode=eviction_mode, params=params)
+        result = chip.run_spgemm(a_matrix, b_matrix, verify=False)
+        report = result.report
+        raw[chip.config.name] = {
+            "stall_cycles": report.stall_cycles,
+            "cpi": report.cpi,
+            "ipc": report.ipc,
+            "in_flight_instx": report.avg_inflight_mem,
+            "power": result.power_w,
+            "busy_cycles": report.busy_cycles,
+            "cycles": report.cycles,
+            "gops": report.gops,
+        }
+    if normalize_to is None:
+        return raw
+    base_name = get_config(normalize_to).name if isinstance(normalize_to, str) \
+        else normalize_to.name
+    base = raw[base_name]
+    normalized: dict[str, dict[str, float]] = {}
+    for name, metrics in raw.items():
+        normalized[name] = {key: (value / base[key] if base.get(key) else 0.0)
+                            for key, value in metrics.items()}
+    return normalized

@@ -1,0 +1,49 @@
+"""Synthetic graph dataset suite.
+
+The paper evaluates on SNAP / SuiteSparse matrices (Table 1) and on GNN
+datasets such as Cora.  Those files cannot be downloaded in this offline
+environment, so this subpackage generates *family-matched* synthetic graphs:
+each named dataset is produced by a structural generator (mesh, power-law,
+road, circuit, ...) whose parameters are derived from the paper's reported
+node count, edge count and sparsity, optionally scaled down so that the
+pure-Python cycle simulator remains fast.
+"""
+
+from repro.datasets.generators import (
+    barabasi_albert_graph,
+    circuit_graph,
+    erdos_renyi_graph,
+    kronecker_power_law_graph,
+    mesh_graph_2d,
+    mesh_graph_3d,
+    road_network_graph,
+    small_world_graph,
+)
+from repro.datasets.suite import (
+    DatasetSpec,
+    GraphDataset,
+    GNN_SUITE,
+    TABLE1_SUITE,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.features import feature_matrix, gcn_weight_matrix
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "kronecker_power_law_graph",
+    "mesh_graph_2d",
+    "mesh_graph_3d",
+    "road_network_graph",
+    "small_world_graph",
+    "circuit_graph",
+    "DatasetSpec",
+    "GraphDataset",
+    "TABLE1_SUITE",
+    "GNN_SUITE",
+    "available_datasets",
+    "load_dataset",
+    "feature_matrix",
+    "gcn_weight_matrix",
+]

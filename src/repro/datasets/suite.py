@@ -1,0 +1,225 @@
+"""Named dataset suite matching the paper's evaluation matrices.
+
+Every entry of the paper's Table 1 (and the GNN datasets of Section 5.4) is
+registered here with its *paper-reported* node count, edge count, sparsity
+and bloat percentage, together with the structural family used to generate a
+synthetic stand-in.  ``load_dataset(name, scale=...)`` instantiates the
+synthetic graph at ``scale`` times the paper size (default heavily scaled
+down so the Python cycle simulator finishes quickly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import generators
+from repro.sparse.convert import coo_to_csc, coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one named dataset.
+
+    Attributes:
+        name: dataset name as it appears in the paper.
+        family: structural generator family.
+        paper_nodes: node count reported in Table 1 (or the GNN literature).
+        paper_edges: edge count reported in Table 1.
+        paper_sparsity_percent: sparsity percentage reported in Table 1.
+        paper_bloat_percent: bloat percentage reported in Table 1 (None for
+            datasets that do not appear in Table 1).
+        feature_dim: node-feature width used for GCN workloads.
+        generator_kwargs: extra arguments forwarded to the generator.
+    """
+
+    name: str
+    family: str
+    paper_nodes: int
+    paper_edges: int
+    paper_sparsity_percent: float = 0.0
+    paper_bloat_percent: float | None = None
+    feature_dim: int = 64
+    generator_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class GraphDataset:
+    """A loaded (synthetic) graph dataset.
+
+    Attributes:
+        spec: the dataset specification this graph was generated from.
+        adjacency: adjacency matrix in COO.
+        scale: fraction of the paper's node count that was materialised.
+    """
+
+    spec: DatasetSpec
+    adjacency: COOMatrix
+    scale: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return self.adjacency.nnz
+
+    def adjacency_csr(self) -> CSRMatrix:
+        """Adjacency in CSR."""
+        return coo_to_csr(self.adjacency)
+
+    def adjacency_csc(self) -> CSCMatrix:
+        """Adjacency in CSC (the storage NeuraChip uses for operand A)."""
+        return coo_to_csc(self.adjacency)
+
+    def features(self, dim: int | None = None, density: float = 0.3,
+                 seed: int = 7) -> CSRMatrix:
+        """Node feature matrix in CSR (operand B of the aggregation phase)."""
+        from repro.datasets.features import feature_matrix
+
+        return feature_matrix(self.n_nodes, dim or self.spec.feature_dim,
+                              density=density, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Table 1 suite (SpGEMM workloads) — values transcribed from the paper.
+# ----------------------------------------------------------------------
+TABLE1_SUITE: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in [
+        DatasetSpec("2cubes_sphere", "mesh3d", 101492, 1647264, 99.9840, 205.87),
+        DatasetSpec("ca-CondMat", "power_law", 23133, 186936, 99.9651, 75.23),
+        DatasetSpec("cit-Patents", "power_law", 3774768, 16518948, 99.9999, 19.32),
+        DatasetSpec("email-Enron", "power_law", 36692, 367662, 99.9727, 68.90),
+        DatasetSpec("filter3D", "mesh3d", 106437, 2707179, 99.9761, 326.34),
+        DatasetSpec("mario002", "mesh2d", 389874, 2101242, 99.9986, 99.43),
+        DatasetSpec("p2p-Gnutella31", "small_world", 62586, 147892, 99.9962, 10.21),
+        DatasetSpec("poisson3Da", "mesh3d", 13514, 352762, 99.8068, 297.92),
+        DatasetSpec("scircuit", "circuit", 170998, 958936, 99.9967, 66.13),
+        DatasetSpec("web-Google", "rmat", 916428, 5105039, 99.9994, 104.27),
+        DatasetSpec("amazon0312", "rmat", 400727, 3200440, 99.9980, 97.21),
+        DatasetSpec("cage12", "mesh3d", 130228, 2032536, 99.9880, 127.23),
+        DatasetSpec("cop20k_A", "mesh3d", 121192, 2624331, 99.9821, 327.07),
+        DatasetSpec("facebook", "power_law", 4039, 60050, 99.1519, 2872.80),
+        DatasetSpec("m133-b3", "mesh2d", 200200, 800800, 99.9980, 26.93),
+        DatasetSpec("offshore", "mesh3d", 259789, 4242673, 99.9937, 205.45),
+        DatasetSpec("patents_main", "circuit", 240547, 560943, 99.9990, 14.18),
+        DatasetSpec("roadNet-CA", "road", 1971281, 5533214, 99.9999, 35.75),
+        DatasetSpec("webbase-1M", "rmat", 1000005, 3105536, 99.9997, 36.02),
+        DatasetSpec("wiki-Vote", "power_law", 8297, 103689, 99.8494, 148.09),
+    ]
+}
+
+# ----------------------------------------------------------------------
+# GNN suite (Section 5.4 / Figure 11 & 17). Cora is the DSE workload.
+# ----------------------------------------------------------------------
+GNN_SUITE: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in [
+        DatasetSpec("cora", "power_law", 2708, 10556, 99.856, None, feature_dim=1433),
+        DatasetSpec("citeseer", "power_law", 3327, 9104, 99.918, None, feature_dim=3703),
+        DatasetSpec("pubmed", "power_law", 19717, 88648, 99.977, None, feature_dim=500),
+        DatasetSpec("flickr", "rmat", 89250, 899756, 99.989, None, feature_dim=500),
+        DatasetSpec("reddit", "rmat", 232965, 11606919, 99.979, None, feature_dim=602),
+        DatasetSpec("amazon-computers", "power_law", 13752, 491722, 99.740, None,
+                    feature_dim=767),
+    ]
+}
+
+_ALL_SPECS = {**TABLE1_SUITE, **GNN_SUITE}
+
+# Default scale keeps the largest synthetic graph near ~2k nodes so that a
+# full cycle simulation completes in a few seconds of pure Python.
+DEFAULT_MAX_NODES = 2048
+
+
+def available_datasets() -> list[str]:
+    """Names of every registered dataset (Table 1 + GNN suite)."""
+    return sorted(_ALL_SPECS)
+
+
+def _generate(family: str, n: int, m: int, seed: int, **kwargs) -> COOMatrix:
+    """Dispatch to the structural generator for ``family``."""
+    avg_degree = max(1, int(round(m / max(n, 1))))
+    if family == "mesh2d":
+        return generators.mesh_graph_2d(n, bandwidth=max(1, avg_degree // 4), seed=seed)
+    if family == "mesh3d":
+        return generators.mesh_graph_3d(n, seed=seed)
+    if family == "power_law":
+        return generators.barabasi_albert_graph(n, attach=max(1, avg_degree // 2),
+                                                seed=seed)
+    if family == "rmat":
+        return generators.kronecker_power_law_graph(n, m, seed=seed, symmetric=True)
+    if family == "road":
+        return generators.road_network_graph(n, seed=seed)
+    if family == "small_world":
+        return generators.small_world_graph(n, k=max(2, avg_degree), seed=seed)
+    if family == "circuit":
+        return generators.circuit_graph(n, fill_per_row=max(1.0, avg_degree - 3.0),
+                                        seed=seed)
+    if family == "random":
+        return generators.erdos_renyi_graph(n, m, seed=seed)
+    if family == "dense":
+        return generators.dense_matrix(n, seed=seed)
+    raise ValueError(f"unknown dataset family: {family!r}")
+
+
+def load_dataset(name: str, scale: float | None = None,
+                 max_nodes: int = DEFAULT_MAX_NODES, seed: int = 0) -> GraphDataset:
+    """Instantiate a synthetic stand-in for a named dataset.
+
+    Args:
+        name: dataset name (see :func:`available_datasets`), or ``"dense"``
+            for the dense matrix of Figure 13.
+        scale: fraction of the paper's node count to materialise.  When
+            omitted, the scale is chosen so the graph has at most
+            ``max_nodes`` nodes.
+        max_nodes: node-count cap used when ``scale`` is None.
+        seed: RNG seed so repeated loads are identical.
+
+    Returns:
+        A :class:`GraphDataset`.
+
+    Raises:
+        KeyError: if the dataset name is unknown.
+    """
+    if name == "dense":
+        n = min(max_nodes, 256)
+        spec = DatasetSpec("dense", "dense", n, n * n, 0.0, None)
+        return GraphDataset(spec, generators.dense_matrix(n, seed=seed), 1.0)
+    if name not in _ALL_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; see available_datasets()")
+    spec = _ALL_SPECS[name]
+    if scale is None:
+        scale = min(1.0, max_nodes / spec.paper_nodes)
+    n = max(16, int(round(spec.paper_nodes * scale)))
+    m = max(n, int(round(spec.paper_edges * scale)))
+    adjacency = _generate(spec.family, n, m, seed, **spec.generator_kwargs)
+    return GraphDataset(spec=spec, adjacency=adjacency, scale=scale)
+
+
+def load_table1_suite(max_nodes: int = 512, seed: int = 0) -> list[GraphDataset]:
+    """Load every Table-1 dataset at a small scale (for sweeps and benches)."""
+    return [load_dataset(name, max_nodes=max_nodes, seed=seed)
+            for name in sorted(TABLE1_SUITE)]
+
+
+def degree_statistics(adjacency: COOMatrix) -> dict[str, float]:
+    """Degree distribution summary used by the analytic bloat estimate."""
+    csr = coo_to_csr(adjacency)
+    degrees = csr.row_nnz_counts().astype(np.float64)
+    mean = float(degrees.mean()) if degrees.size else 0.0
+    std = float(degrees.std()) if degrees.size else 0.0
+    return {
+        "mean_degree": mean,
+        "std_degree": std,
+        "max_degree": float(degrees.max()) if degrees.size else 0.0,
+        "degree_cv": std / mean if mean > 0 else 0.0,
+    }

@@ -1,0 +1,17 @@
+"""Graph neural network reference layer (GCN, Equation 2 of the paper)."""
+
+from repro.gnn.gcn import (
+    GCNLayer,
+    GCNWorkload,
+    gcn_forward_reference,
+    normalize_adjacency,
+    relu,
+)
+
+__all__ = [
+    "GCNLayer",
+    "GCNWorkload",
+    "gcn_forward_reference",
+    "normalize_adjacency",
+    "relu",
+]

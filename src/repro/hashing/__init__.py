@@ -1,0 +1,33 @@
+"""Hash-based compute mapping algorithms (Section 2.4 / 3.5 of the paper).
+
+Implements the four mapping schemes the paper compares — ring (round robin),
+prime-modular, random lookup-table, and NeuraChip's Dynamically Reseeding
+Hash-based Mapping (DRHM) — plus load-balance metrics and the compute-mapping
+heat maps of Figures 12 and 13.
+"""
+
+from repro.hashing.mappings import (
+    DynamicReseedHashMapping,
+    MappingScheme,
+    ModularHashMapping,
+    RandomLookupMapping,
+    RingHashMapping,
+    make_mapping,
+)
+from repro.hashing.balance import (
+    LoadBalanceReport,
+    load_balance_report,
+    mapping_heatmap,
+)
+
+__all__ = [
+    "MappingScheme",
+    "RingHashMapping",
+    "ModularHashMapping",
+    "RandomLookupMapping",
+    "DynamicReseedHashMapping",
+    "make_mapping",
+    "LoadBalanceReport",
+    "load_balance_report",
+    "mapping_heatmap",
+]

@@ -1,0 +1,168 @@
+"""Load-balance metrics and compute-mapping heat maps (Figures 12 and 13).
+
+Given a workload (the multiplication/accumulation task stream of an SpGEMM
+execution) and a mapping scheme, this module measures how evenly work lands
+on the NeuraCore and NeuraMem units and extracts the 2-D heat map the paper
+uses to visualise hot spots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.mappings import MappingScheme, make_mapping
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class LoadBalanceReport:
+    """Summary statistics of how tasks were distributed over resources.
+
+    Attributes:
+        scheme: mapping scheme name.
+        counts: per-resource task counts.
+        mean: mean tasks per resource.
+        std: standard deviation of tasks per resource.
+        max_over_mean: hot-spot factor (1.0 is perfectly balanced).
+        coefficient_of_variation: std / mean.
+        gini: Gini coefficient of the task distribution (0 = perfectly even).
+    """
+
+    scheme: str
+    counts: np.ndarray
+    mean: float
+    std: float
+    max_over_mean: float
+    coefficient_of_variation: float
+    gini: float
+
+    @property
+    def n_resources(self) -> int:
+        return int(self.counts.size)
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector."""
+    if counts.size == 0:
+        return 0.0
+    sorted_counts = np.sort(counts.astype(np.float64))
+    total = sorted_counts.sum()
+    if total == 0:
+        return 0.0
+    n = sorted_counts.size
+    cum = np.cumsum(sorted_counts)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def summarize_counts(scheme_name: str, counts: np.ndarray) -> LoadBalanceReport:
+    """Build a :class:`LoadBalanceReport` from raw per-resource counts."""
+    counts = np.asarray(counts, dtype=np.int64)
+    mean = float(counts.mean()) if counts.size else 0.0
+    std = float(counts.std()) if counts.size else 0.0
+    max_over_mean = float(counts.max()) / mean if mean > 0 else 0.0
+    cv = std / mean if mean > 0 else 0.0
+    return LoadBalanceReport(scheme=scheme_name, counts=counts, mean=mean,
+                             std=std, max_over_mean=max_over_mean,
+                             coefficient_of_variation=cv, gini=_gini(counts))
+
+
+def accumulation_tags(a_csc: CSCMatrix, b_csr: CSRMatrix,
+                      reseed_per_column: bool = True):
+    """Yield (column index, TAG) pairs for every partial product of A @ B.
+
+    The TAG identifies the output element (row * n_cols + col), exactly the
+    identifier NeuraMem hashes.  ``reseed_per_column`` marks the points where
+    DRHM would reseed (after each input row/column of computation).
+    """
+    n_out_cols = b_csr.shape[1]
+    for k in range(a_csc.shape[1]):
+        a_rows, _ = a_csc.col(k)
+        if a_rows.size == 0:
+            continue
+        b_cols, _ = b_csr.row(k)
+        if b_cols.size == 0:
+            continue
+        for i in a_rows.tolist():
+            for j in b_cols.tolist():
+                yield k, (i * n_out_cols + j) & 0xFFFFFFFF
+        if reseed_per_column:
+            yield k, None  # sentinel: reseed point
+
+
+def load_balance_report(scheme: MappingScheme | str, a_csc: CSCMatrix,
+                        b_csr: CSRMatrix, n_resources: int | None = None,
+                        **scheme_kwargs) -> LoadBalanceReport:
+    """Distribute the accumulation tasks of A @ B and measure the balance.
+
+    Args:
+        scheme: a mapping scheme instance or a scheme name.
+        a_csc: left operand in CSC.
+        b_csr: right operand in CSR.
+        n_resources: number of NeuraMem units (required when ``scheme`` is a
+            name).
+        **scheme_kwargs: forwarded to :func:`make_mapping` when constructing
+            a scheme by name.
+
+    Returns:
+        A :class:`LoadBalanceReport` over the accumulation units.
+    """
+    if isinstance(scheme, str):
+        if n_resources is None:
+            raise ValueError("n_resources is required when scheme is a name")
+        scheme = make_mapping(scheme, n_resources, **scheme_kwargs)
+    counts = np.zeros(scheme.n_resources, dtype=np.int64)
+    for k, tag in accumulation_tags(a_csc, b_csr):
+        if tag is None:
+            scheme.reseed(k)
+            continue
+        counts[scheme.map(tag)] += 1
+    return summarize_counts(scheme.name, counts)
+
+
+def mapping_heatmap(scheme: MappingScheme | str, a_csc: CSCMatrix,
+                    b_csr: CSRMatrix, n_cores: int, n_mems: int | None = None,
+                    **scheme_kwargs) -> np.ndarray:
+    """Compute the (NeuraCore x NeuraMem) heat map of Figures 12 / 13.
+
+    Multiplications are assigned to NeuraCores by the column index of A being
+    processed (the dispatcher's task distribution); accumulations are assigned
+    to NeuraMems by the mapping scheme applied to the output TAG.  The entry
+    ``heatmap[core, mem]`` counts partial products generated on ``core`` and
+    accumulated on ``mem``.
+
+    Args:
+        scheme: accumulation mapping scheme (instance or name).
+        a_csc: left operand in CSC.
+        b_csr: right operand in CSR.
+        n_cores: number of NeuraCore units (heat map rows).
+        n_mems: number of NeuraMem units (heat map columns; defaults to
+            ``n_cores``).
+        **scheme_kwargs: forwarded to :func:`make_mapping`.
+
+    Returns:
+        int64 array of shape (n_cores, n_mems).
+    """
+    n_mems = n_mems or n_cores
+    if isinstance(scheme, str):
+        scheme = make_mapping(scheme, n_mems, **scheme_kwargs)
+    elif scheme.n_resources != n_mems:
+        raise ValueError("scheme resource count must equal n_mems")
+    heatmap = np.zeros((n_cores, n_mems), dtype=np.int64)
+    for k, tag in accumulation_tags(a_csc, b_csr):
+        if tag is None:
+            scheme.reseed(k)
+            continue
+        core = k % n_cores
+        heatmap[core, scheme.map(tag)] += 1
+    return heatmap
+
+
+def compare_schemes(a_csc: CSCMatrix, b_csr: CSRMatrix, n_resources: int,
+                    schemes: tuple[str, ...] = ("ring", "modular", "random", "drhm"),
+                    ) -> dict[str, LoadBalanceReport]:
+    """Run every mapping scheme on the same workload (Figure 13 comparison)."""
+    return {name: load_balance_report(name, a_csc, b_csr, n_resources)
+            for name in schemes}

@@ -1,0 +1,21 @@
+"""Area and power model (Table 4 / Table 5 of the paper)."""
+
+from repro.power.model import (
+    AreaPowerBreakdown,
+    PowerModel,
+    TABLE4_REFERENCE,
+    area_breakdown,
+    energy_efficiency_gops_per_watt,
+    area_efficiency_gops_per_mm2,
+    power_breakdown,
+)
+
+__all__ = [
+    "AreaPowerBreakdown",
+    "PowerModel",
+    "TABLE4_REFERENCE",
+    "area_breakdown",
+    "power_breakdown",
+    "energy_efficiency_gops_per_watt",
+    "area_efficiency_gops_per_mm2",
+]

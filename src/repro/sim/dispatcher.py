@@ -1,0 +1,102 @@
+"""Dispatcher: issues MMH instructions to NeuraCores (Step 1 of Figure 5).
+
+The Dispatcher walks the compiled program in order and pushes MMH
+instructions onto whichever NeuraCore has the most free capacity, issuing up
+to ``dispatch_width`` instructions per cycle.  When every core's instruction
+buffer is full it sleeps until a core retires an instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.compiler.program import MMHMacroOp
+from repro.sim.engine import Simulator
+from repro.sim.neuracore import NeuraCore
+from repro.sim.params import SimulationParams
+from repro.sim.stats import StatsCollector
+
+
+class Dispatcher:
+    """Push-based task distribution onto the NeuraCores."""
+
+    def __init__(self, sim: Simulator, params: SimulationParams,
+                 cores: Sequence[NeuraCore], stats: StatsCollector,
+                 on_all_issued: Callable[[], None] | None = None) -> None:
+        self.sim = sim
+        self.params = params
+        self.cores = list(cores)
+        self.stats = stats
+        self._ops: list[MMHMacroOp] = []
+        self._next_index = 0
+        self._issue_scheduled = False
+        self._waiting_for_slot = False
+        self._on_all_issued = on_all_issued
+        self.instructions_issued = 0
+
+    # ------------------------------------------------------------------
+    def load(self, ops: Sequence[MMHMacroOp]) -> None:
+        """Load a program's MMH stream for issue."""
+        self._ops = list(ops)
+        self._next_index = 0
+        self.instructions_issued = 0
+
+    @property
+    def done(self) -> bool:
+        """True when every instruction has been issued."""
+        return self._next_index >= len(self._ops)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._ops) - self._next_index
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin issuing at cycle 0."""
+        self._schedule_issue(0.0)
+
+    def _schedule_issue(self, delay: float) -> None:
+        if self._issue_scheduled or self.done:
+            return
+        self._issue_scheduled = True
+        self.sim.schedule(delay, self._issue_cycle)
+
+    def _issue_cycle(self) -> None:
+        """Issue up to ``dispatch_width`` instructions this cycle."""
+        self._issue_scheduled = False
+        issued = 0
+        while issued < self.params.dispatch_width and not self.done:
+            core = self._least_loaded_core()
+            if core is None:
+                self._waiting_for_slot = True
+                return
+            op = self._ops[self._next_index]
+            self._next_index += 1
+            core.issue(op)
+            issued += 1
+            self.instructions_issued += 1
+            self.stats.incr("dispatcher.issued")
+        if self.done:
+            if self._on_all_issued is not None:
+                self._on_all_issued()
+            return
+        self._schedule_issue(1.0)
+
+    def _least_loaded_core(self) -> NeuraCore | None:
+        """The core with the fewest in-flight instructions that can accept."""
+        best = None
+        best_load = None
+        for core in self.cores:
+            if not core.can_accept():
+                continue
+            load = core.in_flight
+            if best_load is None or load < best_load:
+                best, best_load = core, load
+        return best
+
+    # ------------------------------------------------------------------
+    def notify_slot_free(self) -> None:
+        """A core retired an instruction; resume issuing if we were blocked."""
+        if self._waiting_for_slot and not self.done:
+            self._waiting_for_slot = False
+            self._schedule_issue(0.0)

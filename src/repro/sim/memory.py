@@ -1,0 +1,214 @@
+"""Memory hierarchy model: per-tile memory controllers and HBM channels.
+
+NeuraChip attaches one HBM channel to each of its eight tiles (Figure 5).
+The controller coalesces read requests that fall into the same cache line
+(Step 3 of the on-chip dataflow) and forwards them to a channel model with a
+small number of banks, a row-buffer hit/miss latency, and a peak per-channel
+data rate.  Aggregate bandwidth across the eight channels matches the
+128 GB/s the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.params import SimulationParams
+from repro.sim.stats import StatsCollector
+
+
+class HBMChannel:
+    """A single HBM pseudo-channel with banked row buffers."""
+
+    def __init__(self, sim: Simulator, params: SimulationParams,
+                 channel_id: int, stats: StatsCollector) -> None:
+        self.sim = sim
+        self.params = params
+        self.channel_id = channel_id
+        self.stats = stats
+        self._bank_next_free = [0.0] * params.hbm_banks_per_channel
+        self._bank_open_row = [-1] * params.hbm_banks_per_channel
+        self._data_bus_next_free = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_cycles = 0.0
+
+    def access(self, addr: int, nbytes: int, is_write: bool,
+               callback: Callable[[], None] | None) -> float:
+        """Issue one DRAM access; returns the completion time.
+
+        The access waits for its bank and for the channel data bus, pays a
+        row-buffer hit or miss latency, then streams ``nbytes`` at the
+        channel's peak data rate.
+        """
+        params = self.params
+        transfer = nbytes / params.hbm_bytes_per_cycle_per_channel
+        if is_write:
+            # Writes are posted: the controller's write buffer absorbs them and
+            # drains over the data bus without disturbing the read row buffers.
+            bus_start = max(self.sim.now, self._data_bus_next_free)
+            finish = bus_start + transfer
+            self._data_bus_next_free = finish
+            self.busy_cycles += transfer
+            self.bytes_written += nbytes
+            self.stats.incr("hbm.bytes_written", nbytes)
+            if callback is not None:
+                self.sim.schedule_at(finish, callback)
+            return finish
+        row = addr // params.hbm_row_bytes
+        bank = row % params.hbm_banks_per_channel
+        if self._bank_open_row[bank] == row:
+            access_latency = params.hbm_row_hit_cycles
+            self.stats.incr("hbm.row_hits")
+        else:
+            access_latency = params.hbm_row_miss_cycles
+            self._bank_open_row[bank] = row
+            self.stats.incr("hbm.row_misses")
+        # Banks overlap their access latencies; the shared data bus is only
+        # occupied for the transfer itself, which sets the channel's peak rate.
+        bank_ready = max(self.sim.now, self._bank_next_free[bank]) + access_latency
+        bus_start = max(bank_ready, self._data_bus_next_free)
+        finish = bus_start + transfer
+        self._bank_next_free[bank] = finish
+        self._data_bus_next_free = bus_start + transfer
+        self.busy_cycles += transfer
+        self.bytes_read += nbytes
+        self.stats.incr("hbm.bytes_read", nbytes)
+        if callback is not None:
+            self.sim.schedule_at(finish, callback)
+        return finish
+
+
+class MemoryController:
+    """Per-tile memory controller with coalescing and a small read buffer.
+
+    Requests to the same ``coalesce_line_bytes``-aligned line that are still
+    outstanding are merged into a single DRAM access, and recently returned
+    lines are kept in a small LRU read buffer (Step 3 of Figure 5: the
+    controller coalesces requests and reorganises transactions to enhance
+    spatial locality).  All waiters are notified when the line is available.
+    """
+
+    def __init__(self, sim: Simulator, params: SimulationParams, tile_id: int,
+                 channel: HBMChannel, stats: StatsCollector) -> None:
+        self.sim = sim
+        self.params = params
+        self.tile_id = tile_id
+        self.channel = channel
+        self.stats = stats
+        # line address -> list of callbacks waiting for that line.
+        self._pending_lines: dict[int, list[Callable[[], None]]] = {}
+        # LRU of recently fetched lines (insertion ordered dict).
+        self._line_buffer: dict[int, bool] = {}
+        self.reads_received = 0
+        self.reads_coalesced = 0
+        self.reads_buffered = 0
+        self.writes_received = 0
+
+    def read(self, addr: int, nbytes: int, callback: Callable[[], None]) -> None:
+        """Issue a read; ``callback`` fires when the data is available."""
+        self.reads_received += 1
+        self.stats.incr("memctrl.reads")
+        self.stats.level("memctrl.in_flight").change(self.sim.now, +1)
+        line_bytes = self.params.coalesce_line_bytes
+        first_line = addr // line_bytes
+        last_line = (addr + max(nbytes, 1) - 1) // line_bytes
+        lines = list(range(first_line, last_line + 1))
+        remaining = {"count": len(lines)}
+
+        def line_ready() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self.stats.level("memctrl.in_flight").change(self.sim.now, -1)
+                callback()
+
+        for line in lines:
+            if line in self._line_buffer:
+                # Read-buffer hit: serviced at controller latency, no DRAM trip.
+                self._line_buffer.pop(line)
+                self._line_buffer[line] = True  # refresh LRU position
+                self.reads_buffered += 1
+                self.stats.incr("memctrl.buffer_hits")
+                self.sim.schedule(self.params.memory_controller_cycles, line_ready)
+                continue
+            if line in self._pending_lines:
+                # Coalesced with an outstanding request for the same line.
+                self._pending_lines[line].append(line_ready)
+                self.reads_coalesced += 1
+                self.stats.incr("memctrl.coalesced")
+                continue
+            self._pending_lines[line] = [line_ready]
+            self._issue_line_read(line)
+
+    def _insert_buffer_line(self, line: int) -> None:
+        capacity = self.params.controller_buffer_lines
+        if capacity <= 0:
+            return
+        self._line_buffer[line] = True
+        while len(self._line_buffer) > capacity:
+            self._line_buffer.pop(next(iter(self._line_buffer)))
+
+    def _issue_line_read(self, line: int) -> None:
+        line_bytes = self.params.coalesce_line_bytes
+        addr = line * line_bytes
+
+        def on_complete() -> None:
+            self._insert_buffer_line(line)
+            waiters = self._pending_lines.pop(line, [])
+            for waiter in waiters:
+                waiter()
+
+        self.sim.schedule(self.params.memory_controller_cycles,
+                          self.channel.access, addr, line_bytes, False, on_complete)
+
+    def write(self, addr: int, nbytes: int,
+              callback: Callable[[], None] | None = None) -> None:
+        """Issue a write; the optional ``callback`` fires on completion."""
+        self.writes_received += 1
+        self.stats.incr("memctrl.writes")
+        self.sim.schedule(self.params.memory_controller_cycles,
+                          self.channel.access, addr, nbytes, True, callback)
+
+
+class MemorySystem:
+    """All memory controllers and channels, with address interleaving.
+
+    Addresses are interleaved across channels at ``coalesce_line_bytes``
+    granularity so contiguous operand streams load-balance over the eight
+    HBM channels.
+    """
+
+    def __init__(self, sim: Simulator, params: SimulationParams,
+                 n_channels: int, stats: StatsCollector) -> None:
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.channels = [HBMChannel(sim, params, i, stats) for i in range(n_channels)]
+        self.controllers = [MemoryController(sim, params, i, self.channels[i], stats)
+                            for i in range(n_channels)]
+
+    def controller_for(self, addr: int) -> MemoryController:
+        """The controller owning an address under the interleaving scheme."""
+        line = addr // self.params.coalesce_line_bytes
+        return self.controllers[line % len(self.controllers)]
+
+    def read(self, addr: int, nbytes: int, callback: Callable[[], None]) -> None:
+        """Route a read request to the owning controller."""
+        self.controller_for(addr).read(addr, nbytes, callback)
+
+    def write(self, addr: int, nbytes: int,
+              callback: Callable[[], None] | None = None) -> None:
+        """Route a write request to the owning controller."""
+        self.controller_for(addr).write(addr, nbytes, callback)
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(c.bytes_read for c in self.channels)
+
+    @property
+    def total_bytes_written(self) -> int:
+        return sum(c.bytes_written for c in self.channels)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.total_bytes_read + self.total_bytes_written

@@ -1,0 +1,173 @@
+"""NeuraCore: the multiplication engine (Section 3.3).
+
+A NeuraCore owns several multiply pipelines (the quad-pipeline layout of
+Figure 6).  Each in-flight MMH instruction occupies register-file slots in
+one pipeline, fetches its four operand groups from HBM through the memory
+controllers, computes its partial products, and dispatches HACC instructions
+over the NoC to the NeuraMems selected by the mapping function.
+
+The per-instruction latency (issue to the arrival of its last HACC at a
+NeuraMem) is the quantity the Figure 14 CPI histograms plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compiler.program import MMHMacroOp
+from repro.sim.engine import Simulator
+from repro.sim.params import SimulationParams
+from repro.sim.stats import StatsCollector
+
+#: Histogram shape of Figure 14 (bins of 25 cycles, 0 to 500+).
+MMH_HIST_BIN_WIDTH = 25
+MMH_HIST_BINS = 20
+
+
+@dataclass
+class _Pipeline:
+    """One multiply pipeline: a register file holding in-flight MMH ops."""
+
+    capacity: int
+    in_flight: int = 0
+
+    @property
+    def has_slot(self) -> bool:
+        return self.in_flight < self.capacity
+
+
+@dataclass
+class _InFlightMMH:
+    """Book-keeping for one MMH instruction travelling through a pipeline."""
+
+    op: MMHMacroOp
+    pipeline: int
+    issue_time: float
+    frontend_done: float = 0.0
+    outstanding_reads: int = 0
+    outstanding_haccs: int = 0
+    responses_done: float = 0.0
+
+
+class NeuraCore:
+    """In-order multiplication core with a small number of pipelines."""
+
+    def __init__(self, core_id: int, position: tuple[int, int], sim: Simulator,
+                 params: SimulationParams, stats: StatsCollector,
+                 n_pipelines: int, pipeline_registers: int, multipliers: int,
+                 read_fn: Callable[[int, int, Callable[[], None]], None],
+                 dispatch_hacc_fn: Callable[["NeuraCore", MMHMacroOp, int,
+                                             Callable[[], None]], None],
+                 on_retire: Callable[["NeuraCore", MMHMacroOp, float], None]) -> None:
+        self.core_id = core_id
+        self.position = position
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.multipliers = max(1, multipliers)
+        capacity = max(1, pipeline_registers // params.registers_per_mmh)
+        self.pipelines = [_Pipeline(capacity=capacity) for _ in range(max(1, n_pipelines))]
+        self._read = read_fn
+        self._dispatch_hacc = dispatch_hacc_fn
+        self._on_retire = on_retire
+        self._next_pipeline = 0
+        self.busy_cycles = 0.0
+        self.stall_cycles = 0.0
+        self.instructions_retired = 0
+        self.haccs_dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Total MMH instructions currently occupying register slots."""
+        return sum(p.in_flight for p in self.pipelines)
+
+    def can_accept(self) -> bool:
+        """True when at least one pipeline has a free register slot."""
+        return any(p.has_slot for p in self.pipelines)
+
+    # ------------------------------------------------------------------
+    def issue(self, op: MMHMacroOp) -> None:
+        """Accept an MMH instruction from the Dispatcher (Step 1, Figure 6)."""
+        pipeline_index = self._select_pipeline()
+        self.pipelines[pipeline_index].in_flight += 1
+        state = _InFlightMMH(op=op, pipeline=pipeline_index, issue_time=self.sim.now)
+        frontend = (self.params.decode_cycles + self.params.register_alloc_cycles
+                    + self.params.address_gen_cycles)
+        self.sim.schedule(frontend, self._issue_memory_requests, state)
+
+    def _select_pipeline(self) -> int:
+        """Round-robin over pipelines with a free slot (Figure 6, Step 1)."""
+        n = len(self.pipelines)
+        for offset in range(n):
+            candidate = (self._next_pipeline + offset) % n
+            if self.pipelines[candidate].has_slot:
+                self._next_pipeline = (candidate + 1) % n
+                return candidate
+        raise RuntimeError("issue() called with no free pipeline slot")
+
+    # ------------------------------------------------------------------
+    def _issue_memory_requests(self, state: _InFlightMMH) -> None:
+        """Steps 4-5: generate operand fetches and send them to memory."""
+        state.frontend_done = self.sim.now
+        requests = state.op.operand_addresses()
+        state.outstanding_reads = len(requests)
+        self.stats.level("core.mem_inflight").change(self.sim.now, len(requests))
+        for addr, nbytes in requests.values():
+            self._read(addr, nbytes, lambda s=state: self._on_read_response(s))
+
+    def _on_read_response(self, state: _InFlightMMH) -> None:
+        """Step 6-7: a memory response arrived; execute once all are present."""
+        state.outstanding_reads -= 1
+        self.stats.level("core.mem_inflight").change(self.sim.now, -1)
+        if state.outstanding_reads > 0:
+            return
+        state.responses_done = self.sim.now
+        self.stall_cycles += max(0.0, state.responses_done - state.frontend_done)
+        self.stats.incr("core.stall_cycles",
+                        max(0.0, state.responses_done - state.frontend_done))
+        n_products = state.op.n_partial_products
+        batches = -(-n_products // self.multipliers)
+        compute_latency = max(1, batches * self.params.multiply_cycles)
+        self.busy_cycles += compute_latency
+        self.stats.incr("core.busy_cycles", compute_latency)
+        self.sim.schedule(compute_latency, self._dispatch_haccs, state)
+
+    # ------------------------------------------------------------------
+    def _dispatch_haccs(self, state: _InFlightMMH) -> None:
+        """Step 8: relay HACC instructions to NeuraMem units via the NoC."""
+        haccs = list(range(state.op.n_partial_products))
+        state.outstanding_haccs = len(haccs)
+        if not haccs:
+            self._retire(state)
+            return
+        sends_per_cycle = max(1, self.params.hacc_sends_per_cycle)
+        dispatch_cycles = len(haccs) / sends_per_cycle
+        self.busy_cycles += dispatch_cycles
+        for index in haccs:
+            delay = index // sends_per_cycle
+            self.sim.schedule(delay, self._send_one_hacc, state, index)
+
+    def _send_one_hacc(self, state: _InFlightMMH, index: int) -> None:
+        self.haccs_dispatched += 1
+        self.stats.incr("core.haccs_dispatched")
+        self._dispatch_hacc(self, state.op, index,
+                            lambda s=state: self._on_hacc_arrival(s))
+
+    def _on_hacc_arrival(self, state: _InFlightMMH) -> None:
+        """A HACC reached its NeuraMem; retire once the last one lands."""
+        state.outstanding_haccs -= 1
+        if state.outstanding_haccs > 0:
+            return
+        self._retire(state)
+
+    # ------------------------------------------------------------------
+    def _retire(self, state: _InFlightMMH) -> None:
+        latency = self.sim.now - state.issue_time
+        self.stats.histogram("mmh_cpi", MMH_HIST_BIN_WIDTH, MMH_HIST_BINS).add(latency)
+        self.stats.observe("mmh.latency", latency)
+        self.pipelines[state.pipeline].in_flight -= 1
+        self.instructions_retired += 1
+        self.stats.incr("core.instructions_retired")
+        self._on_retire(self, state.op, latency)

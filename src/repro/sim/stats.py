@@ -1,0 +1,145 @@
+"""Statistics collection for NeuraSim.
+
+Provides scalar counters, value observations (for CPI distributions), binned
+histograms matching the paper's Figures 14 and 15, and time-weighted level
+tracking (for the "in-flight memory instructions" metric of Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Histogram:
+    """Fixed-width binned histogram with an overflow bucket.
+
+    Mirrors the CPI histograms of Figures 14/15: bins of ``bin_width`` cycles
+    from 0 to ``n_bins * bin_width``, with everything beyond that falling into
+    the final ``...+`` bucket.
+    """
+
+    bin_width: int
+    n_bins: int
+    counts: np.ndarray = field(default=None)
+    total_observations: int = 0
+    sum_values: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = np.zeros(self.n_bins, dtype=np.int64)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        index = min(int(value // self.bin_width), self.n_bins - 1)
+        self.counts[max(index, 0)] += 1
+        self.total_observations += 1
+        self.sum_values += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded observations."""
+        if self.total_observations == 0:
+            return 0.0
+        return self.sum_values / self.total_observations
+
+    def labels(self) -> list[str]:
+        """Human-readable bin labels ('0-25', '25-50', ..., '475-500+')."""
+        labels = []
+        for i in range(self.n_bins):
+            lo = i * self.bin_width
+            hi = (i + 1) * self.bin_width
+            suffix = "+" if i == self.n_bins - 1 else ""
+            labels.append(f"{lo}-{hi}{suffix}")
+        return labels
+
+    def percentages(self) -> np.ndarray:
+        """Percentage of observations falling into each bin."""
+        if self.total_observations == 0:
+            return np.zeros(self.n_bins)
+        return self.counts / self.total_observations * 100.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Bin label -> percentage mapping."""
+        return dict(zip(self.labels(), self.percentages().tolist()))
+
+
+class LevelTracker:
+    """Time-weighted tracker of an integer level (e.g. in-flight requests)."""
+
+    def __init__(self) -> None:
+        self._level = 0
+        self._last_time = 0.0
+        self._area = 0.0
+        self.peak = 0
+
+    def change(self, time: float, delta: int) -> None:
+        """Apply a level change at the given time."""
+        self._area += self._level * max(0.0, time - self._last_time)
+        self._last_time = max(self._last_time, time)
+        self._level += delta
+        self.peak = max(self.peak, self._level)
+
+    def average(self, end_time: float) -> float:
+        """Time-weighted average level over [0, end_time]."""
+        if end_time <= 0:
+            return 0.0
+        area = self._area + self._level * max(0.0, end_time - self._last_time)
+        return area / end_time
+
+    @property
+    def current(self) -> int:
+        return self._level
+
+
+class StatsCollector:
+    """Shared statistics sink for all NeuraSim components."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+        self.observations: dict[str, list[float]] = defaultdict(list)
+        self.histograms: dict[str, Histogram] = {}
+        self.levels: dict[str, LevelTracker] = defaultdict(LevelTracker)
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment a scalar counter."""
+        self.counters[name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a value observation (kept in full for percentile queries)."""
+        self.observations[name].append(float(value))
+
+    def histogram(self, name: str, bin_width: int, n_bins: int) -> Histogram:
+        """Get (or create) a named histogram."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(bin_width=bin_width, n_bins=n_bins)
+        return self.histograms[name]
+
+    def level(self, name: str) -> LevelTracker:
+        """Get (or create) a named level tracker."""
+        return self.levels[name]
+
+    # ------------------------------------------------------------------
+    def mean(self, name: str) -> float:
+        """Mean of an observation series (0.0 if empty)."""
+        values = self.observations.get(name, [])
+        return float(np.mean(values)) if values else 0.0
+
+    def percentile(self, name: str, q: float) -> float:
+        """Percentile of an observation series (0.0 if empty)."""
+        values = self.observations.get(name, [])
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def summary(self, end_time: float) -> dict[str, float]:
+        """Flatten counters, observation means and level averages."""
+        result = dict(self.counters)
+        for name in self.observations:
+            result[f"{name}.mean"] = self.mean(name)
+        for name, tracker in self.levels.items():
+            result[f"{name}.avg"] = tracker.average(end_time)
+            result[f"{name}.peak"] = tracker.peak
+        return result

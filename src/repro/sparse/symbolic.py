@@ -1,0 +1,119 @@
+"""Symbolic (structure-only) SpGEMM.
+
+The rolling-eviction mechanism of NeuraChip (Section 3.4) relies on a
+per-output-element counter: the number of partial products that will be
+accumulated into each non-zero of C = A @ B.  The NeuraCompiler obtains
+these counters with a symbolic pass over the operand structures, which is
+exactly what this module implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class SymbolicProduct:
+    """Structure of C = A @ B without numeric values.
+
+    Attributes:
+        shape: shape of C.
+        entries: dict mapping (row, col) -> number of partial products that
+            contribute to that output element (the rolling counter value).
+        total_partial_products: total count of scalar multiply results
+            produced by the multiplication phase (the ``pp_interim`` of
+            Equation 1).
+    """
+
+    shape: tuple[int, int]
+    entries: dict[tuple[int, int], int]
+    total_partial_products: int
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zeros in the output matrix."""
+        return len(self.entries)
+
+    def counter(self, row: int, col: int) -> int:
+        """Rolling counter for output element (row, col); 0 if structurally zero."""
+        return self.entries.get((row, col), 0)
+
+    def counters_for_row(self, row: int) -> dict[int, int]:
+        """All column -> counter pairs for one output row."""
+        return {c: n for (r, c), n in self.entries.items() if r == row}
+
+    def row_nnz_counts(self) -> np.ndarray:
+        """Per-row output non-zero counts."""
+        counts = np.zeros(self.shape[0], dtype=np.int64)
+        for (r, _c) in self.entries:
+            counts[r] += 1
+        return counts
+
+
+def symbolic_spgemm(a_csr: CSRMatrix, b_csr: CSRMatrix) -> SymbolicProduct:
+    """Compute the structure and rolling counters of C = A @ B.
+
+    Both operands are given row-major; the pass walks A row by row
+    (Gustavson order) and counts, for every output coordinate, how many
+    (i, k, j) triples touch it.
+
+    Args:
+        a_csr: left operand in CSR.
+        b_csr: right operand in CSR.
+
+    Returns:
+        A :class:`SymbolicProduct` describing the output structure.
+
+    Raises:
+        ValueError: if the inner dimensions do not match.
+    """
+    if a_csr.shape[1] != b_csr.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: A is {a_csr.shape}, B is {b_csr.shape}")
+    entries: dict[tuple[int, int], int] = {}
+    total = 0
+    for i in range(a_csr.shape[0]):
+        a_cols, _a_vals = a_csr.row(i)
+        for k in a_cols:
+            b_cols, _b_vals = b_csr.row(int(k))
+            total += int(b_cols.size)
+            for j in b_cols:
+                key = (i, int(j))
+                entries[key] = entries.get(key, 0) + 1
+    return SymbolicProduct(shape=(a_csr.shape[0], b_csr.shape[1]),
+                           entries=entries,
+                           total_partial_products=total)
+
+
+def symbolic_spgemm_from_csc(a_csc: CSCMatrix, b_csr: CSRMatrix) -> SymbolicProduct:
+    """Symbolic SpGEMM with A in CSC (the storage NeuraChip actually uses).
+
+    Walks the columns of A paired with the rows of B — the outer-product
+    order in which the MMH instructions are generated — and produces the
+    same counters as :func:`symbolic_spgemm`.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: A is {a_csc.shape}, B is {b_csr.shape}")
+    entries: dict[tuple[int, int], int] = {}
+    total = 0
+    for k in range(a_csc.shape[1]):
+        a_rows, _a_vals = a_csc.col(k)
+        if a_rows.size == 0:
+            continue
+        b_cols, _b_vals = b_csr.row(k)
+        if b_cols.size == 0:
+            continue
+        total += int(a_rows.size) * int(b_cols.size)
+        for i in a_rows:
+            for j in b_cols:
+                key = (int(i), int(j))
+                entries[key] = entries.get(key, 0) + 1
+    return SymbolicProduct(shape=(a_csc.shape[0], b_csr.shape[1]),
+                           entries=entries,
+                           total_partial_products=total)

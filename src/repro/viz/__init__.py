@@ -1,0 +1,19 @@
+"""NeuraViz-style exporters: turn benchmark results into tables, CSV and JSON."""
+
+from repro.viz.export import (
+    format_table,
+    heatmap_to_text,
+    histogram_to_rows,
+    save_csv,
+    save_json,
+    speedup_table_to_rows,
+)
+
+__all__ = [
+    "format_table",
+    "heatmap_to_text",
+    "histogram_to_rows",
+    "save_csv",
+    "save_json",
+    "speedup_table_to_rows",
+]

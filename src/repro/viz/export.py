@@ -1,0 +1,102 @@
+"""Exporters for the benchmark harness (the NeuraViz replacement).
+
+The paper's NeuraViz renders plots from a MongoDB metrics store; here the
+benchmarks print the same data series as aligned text tables and can persist
+them as CSV/JSON files for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.stats import Histogram
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of row dicts as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(" | ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+                     for r in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def histogram_to_rows(histogram: Histogram, label: str = "cpi") -> list[dict]:
+    """Convert a CPI histogram into Figure 14/15-style rows."""
+    return [{"bin": bin_label, f"{label}_percent": round(percent, 2)}
+            for bin_label, percent in zip(histogram.labels(),
+                                          histogram.percentages().tolist())]
+
+
+def heatmap_to_text(heatmap: np.ndarray, max_width: int = 64) -> str:
+    """Render a mapping heat map as ASCII shading (Figures 12/13)."""
+    heatmap = np.asarray(heatmap, dtype=np.float64)
+    if heatmap.size == 0:
+        return "(empty heatmap)"
+    shades = " .:-=+*#%@"
+    peak = heatmap.max() if heatmap.max() > 0 else 1.0
+    lines = []
+    for row in heatmap[:, :max_width]:
+        indices = np.minimum((row / peak * (len(shades) - 1)).astype(int),
+                             len(shades) - 1)
+        lines.append("".join(shades[i] for i in indices))
+    return "\n".join(lines)
+
+
+def speedup_table_to_rows(table: dict[str, dict[str, float]]) -> list[dict]:
+    """Flatten a {platform: {dataset: speedup}} table into printable rows."""
+    rows = []
+    for platform, per_dataset in table.items():
+        for dataset, speedup in per_dataset.items():
+            rows.append({"platform": platform, "dataset": dataset,
+                         "speedup": round(float(speedup), 3)})
+    return rows
+
+
+def save_csv(rows: list[dict], path: str | Path) -> Path:
+    """Write row dicts to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def save_json(payload, path: str | Path) -> Path:
+    """Write a JSON-serialisable payload; numpy types are converted."""
+    def convert(value):
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        raise TypeError(f"unserialisable type {type(value)!r}")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=convert))
+    return path

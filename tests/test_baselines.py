@@ -1,0 +1,181 @@
+"""Unit tests for the analytic baseline models (platforms, accelerators, GNN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.accelerators import (
+    ACCEL_GAMMA,
+    ACCEL_OUTERSPACE,
+    ACCEL_SPARCH,
+    NEURACHIP_ANALYTIC_TILE16,
+    neurachip_analytic,
+    speedup_table,
+    spgemm_accelerators,
+    table5_platforms,
+)
+from repro.baselines.gnn_accelerators import (
+    calibrate_gnn_accelerators,
+    gnn_accelerators,
+    gnn_speedup_table,
+    neurachip_gnn_model,
+)
+from repro.baselines.platforms import (
+    CPU_MKL,
+    GPU_CUSP,
+    GPU_CUSPARSE,
+    GPU_HIPSPARSE,
+    calibrate_platforms,
+    spgemm_platforms,
+)
+from repro.baselines.workload import GCNWorkloadStats, SpGEMMWorkloadStats
+from repro.datasets import load_dataset
+from repro.gnn.gcn import GCNWorkload
+from repro.arch.config import TILE16
+
+
+@pytest.fixture(scope="module")
+def spgemm_workloads():
+    stats = []
+    for name in ("facebook", "wiki-Vote", "p2p-Gnutella31", "mario002"):
+        dataset = load_dataset(name, max_nodes=192, seed=1)
+        stats.append(SpGEMMWorkloadStats.from_matrices(name, dataset.adjacency_csr()))
+    return stats
+
+
+@pytest.fixture(scope="module")
+def gcn_workloads():
+    stats = []
+    for name in ("cora", "citeseer", "pubmed"):
+        dataset = load_dataset(name, max_nodes=192, seed=1)
+        workload = GCNWorkload.build(dataset, feature_dim=32, hidden_dim=16)
+        stats.append(GCNWorkloadStats.from_workload(name, workload.a_hat,
+                                                    workload.features, 16))
+    return stats
+
+
+class TestWorkloadStats:
+    def test_from_matrices_consistency(self, spgemm_workloads):
+        for stats in spgemm_workloads:
+            assert stats.partial_products >= stats.output_nnz > 0
+            assert stats.bloat_percent >= 0.0
+            assert stats.useful_flops == 2 * stats.partial_products
+            assert 0.0 < stats.density_a < 1.0
+
+    def test_gcn_stats_traffic_positive(self, gcn_workloads):
+        for stats in gcn_workloads:
+            assert stats.aggregation_traffic_bytes > 0
+            assert stats.combination_traffic_bytes > 0
+            assert stats.total_flops == (stats.aggregation_flops
+                                         + stats.combination_flops)
+
+
+class TestPlatformModels:
+    def test_traffic_ordering_outer_worst(self, spgemm_workloads):
+        """The outer-product dataflow materialises partial matrices, so its
+        traffic must exceed the row-wise dataflow on the same workload."""
+        stats = spgemm_workloads[0]
+        row_wise = CPU_MKL.traffic_bytes(stats) / CPU_MKL.traffic_multiplier
+        outer = ACCEL_OUTERSPACE.traffic_bytes(stats) / ACCEL_OUTERSPACE.traffic_multiplier
+        assert outer > row_wise
+
+    def test_execution_time_positive_and_finite(self, spgemm_workloads):
+        for platform in table5_platforms():
+            for stats in spgemm_workloads:
+                time = platform.execution_time_s(stats)
+                assert np.isfinite(time) and time > 0
+
+    def test_sustained_gops_below_peak(self, spgemm_workloads):
+        for platform in table5_platforms():
+            for stats in spgemm_workloads:
+                assert platform.sustained_gops(stats) <= platform.peak_gflops / 2 + 1e-9
+
+    def test_unknown_dataflow_rejected(self, spgemm_workloads):
+        from dataclasses import replace
+
+        broken = replace(CPU_MKL, dataflow="zigzag")
+        with pytest.raises(ValueError):
+            broken.traffic_bytes(spgemm_workloads[0])
+
+    def test_calibration_pins_geometric_mean(self, spgemm_workloads):
+        calibrated = calibrate_platforms([CPU_MKL, GPU_CUSPARSE], spgemm_workloads)
+        for platform in calibrated:
+            gops = [platform.sustained_gops(s) for s in spgemm_workloads]
+            gmean = float(np.exp(np.mean(np.log(gops))))
+            assert gmean == pytest.approx(platform.reference_gops, rel=1e-6)
+
+    def test_platform_listing(self):
+        assert [p.name for p in spgemm_platforms()] == ["MKL", "cuSPARSE", "CUSP",
+                                                        "hipSPARSE"]
+        assert [a.name for a in spgemm_accelerators()] == ["OuterSPACE", "SpArch",
+                                                           "Gamma"]
+        assert len(table5_platforms()) == 10
+
+
+class TestSpGEMMSpeedups:
+    def test_figure16_average_speedups_match_paper_shape(self, spgemm_workloads):
+        """Calibrated geometric-mean speedups must land on the paper's factors."""
+        table = speedup_table(spgemm_workloads)
+        paper = {"MKL": 22.1, "cuSPARSE": 17.1, "CUSP": 13.3, "hipSPARSE": 16.7,
+                 "SpArch": 2.4, "Gamma": 1.5}
+        for platform, target in paper.items():
+            assert table[platform]["gmean"] == pytest.approx(target, rel=0.05), platform
+
+    def test_neurachip_wins_on_every_dataset_against_cpu(self, spgemm_workloads):
+        table = speedup_table(spgemm_workloads)
+        per_dataset = {k: v for k, v in table["MKL"].items() if k != "gmean"}
+        assert all(value > 1.0 for value in per_dataset.values())
+
+    def test_prior_accelerator_ordering(self, spgemm_workloads):
+        """OuterSPACE < SpArch < Gamma in throughput -> opposite in speedup."""
+        table = speedup_table(spgemm_workloads)
+        assert table["OuterSPACE"]["gmean"] > table["SpArch"]["gmean"] \
+            > table["Gamma"]["gmean"] > 1.0
+
+    def test_uncalibrated_table_still_orders_platforms(self, spgemm_workloads):
+        table = speedup_table(spgemm_workloads, calibrate=False)
+        assert table["MKL"]["gmean"] > table["Gamma"]["gmean"]
+
+    def test_neurachip_analytic_scaling(self, spgemm_workloads):
+        tile4 = neurachip_analytic(TILE16, reference_gops=5.0, efficiency=0.3)
+        tile16 = NEURACHIP_ANALYTIC_TILE16
+        stats = spgemm_workloads[0]
+        assert tile16.sustained_gops(stats) > tile4.sustained_gops(stats)
+
+
+class TestGNNAcceleratorModels:
+    def test_phase_times_positive(self, gcn_workloads):
+        for model in gnn_accelerators():
+            for stats in gcn_workloads:
+                assert model.execution_time_s(stats) > 0
+
+    def test_figure17_average_speedups_match_paper(self, gcn_workloads):
+        table = gnn_speedup_table(gcn_workloads)
+        paper = {"EnGN": 1.29, "GROW": 1.58, "HyGCN": 1.69, "FlowGNN": 1.30}
+        for name, target in paper.items():
+            assert table[name]["gmean"] == pytest.approx(target, rel=0.05), name
+
+    def test_neurachip_faster_than_every_gnn_accelerator(self, gcn_workloads):
+        table = gnn_speedup_table(gcn_workloads)
+        for name, row in table.items():
+            per_dataset = [v for k, v in row.items() if k != "gmean"]
+            assert min(per_dataset) > 0.8, name
+            assert row["gmean"] > 1.0, name
+
+    def test_hygcn_penalised_by_phase_imbalance(self, gcn_workloads):
+        from repro.baselines.gnn_accelerators import HYGCN
+        from dataclasses import replace
+
+        balanced = replace(HYGCN, pipeline_stall_penalty=0.0)
+        stats = gcn_workloads[0]
+        assert HYGCN.execution_time_s(stats) >= balanced.execution_time_s(stats)
+
+    def test_calibration_is_stable_under_recalibration(self, gcn_workloads):
+        once = calibrate_gnn_accelerators(gnn_accelerators(), gcn_workloads)
+        twice = calibrate_gnn_accelerators(once, gcn_workloads)
+        for a, b in zip(once, twice):
+            assert a.calibration_scale == pytest.approx(b.calibration_scale, rel=1e-6)
+
+    def test_neurachip_gnn_model_sustained_below_peak(self, gcn_workloads):
+        model = neurachip_gnn_model()
+        for stats in gcn_workloads:
+            assert model.sustained_gflops(stats) <= model.peak_gflops

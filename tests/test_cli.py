@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (the Dashboard / NeuraViz stand-in)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "cora"
+        assert args.config == "Tile-16"
+        assert args.eviction == "rolling"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_invalid_eviction_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--eviction", "never"])
+
+
+class TestCommands:
+    def test_datasets_lists_both_suites(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out
+        assert "cora" in out
+        assert "Table-1" in out and "GNN" in out
+
+    def test_bloat_selected_datasets(self, capsys):
+        code = main(["bloat", "--datasets", "facebook", "wiki-Vote",
+                     "--max-nodes", "96"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out and "wiki-Vote" in out
+        assert "bloat_percent" in out
+
+    def test_run_small_workload(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "80",
+                     "--config", "Tile-4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wiki-Vote" in out
+        assert "True" in out  # verified column
+
+    def test_run_with_output_dir(self, tmp_path, capsys):
+        code = main(["--output-dir", str(tmp_path), "run", "--dataset",
+                     "wiki-Vote", "--max-nodes", "64", "--config", "Tile-4",
+                     "--no-verify"])
+        assert code == 0
+        saved = list(tmp_path.glob("run_*.csv"))
+        assert len(saved) == 1
+        assert "cycles" in saved[0].read_text()
+
+    def test_gcn_command(self, capsys):
+        code = main(["gcn", "--dataset", "cora", "--max-nodes", "80",
+                     "--config", "Tile-4", "--feature-dim", "8",
+                     "--hidden-dim", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregation_cycles" in out
+
+    def test_sweep_command_raw(self, capsys):
+        code = main(["sweep", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--raw"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tile-4" in out and "Tile-64" in out

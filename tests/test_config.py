@@ -1,0 +1,99 @@
+"""Unit tests for the NeuraChip configurations (Tables 2 and 3)."""
+
+import pytest
+
+from repro.arch.config import (
+    GNN_TILE16,
+    TILE16,
+    TILE4,
+    TILE64,
+    all_spgemm_configs,
+    get_config,
+)
+
+
+class TestLookup:
+    def test_get_config_by_name(self):
+        assert get_config("Tile-16") is TILE16
+        assert get_config("tile-4") is TILE4
+        assert get_config("TILE-64") is TILE64
+        assert get_config("GNN-Tile-16") is GNN_TILE16
+
+    def test_unknown_config(self):
+        with pytest.raises(KeyError):
+            get_config("Tile-128")
+
+    def test_all_spgemm_configs_order(self):
+        assert [c.name for c in all_spgemm_configs()] == ["Tile-4", "Tile-16", "Tile-64"]
+
+
+class TestTable3Rows:
+    """Checks against the paper's Table 3 values."""
+
+    @pytest.mark.parametrize("config,cores,mems,routers,pipelines,hash_engines,"
+                             "comparators,hashpad_mb", [
+        (TILE4, 8, 8, 32, 32, 16, 32, 0.75),
+        (TILE16, 32, 32, 64, 128, 128, 512, 3.0),
+        (TILE64, 128, 128, 256, 512, 1024, 8192, 12.0),
+    ])
+    def test_totals_match_paper(self, config, cores, mems, routers, pipelines,
+                                hash_engines, comparators, hashpad_mb):
+        rows = config.table3_rows()
+        assert rows["Total NeuraCores"] == cores
+        assert rows["Total NeuraMems"] == mems
+        assert rows["Total Routers"] == routers
+        assert rows["Total Pipelines"] == pipelines
+        assert rows["Total Hash-Engines"] == hash_engines
+        assert rows["Total TAG comparators"] == comparators
+        assert rows["Total HashPad Size (MB)"] == hashpad_mb
+
+    def test_common_fixed_values(self):
+        for config in all_spgemm_configs():
+            rows = config.table3_rows()
+            assert rows["Tile Count"] == 8
+            assert rows["Memory Controller Count"] == 8
+            assert rows["Max frequency (GHz)"] == 1.0
+
+
+class TestTable2Rows:
+    def test_register_file_scaling(self):
+        assert TILE4.core.register_file_bits == 512
+        assert TILE16.core.register_file_bits == 1024
+        assert TILE64.core.register_file_bits == 2048
+
+    def test_hashlines_per_neuramem(self):
+        assert TILE4.mem.hashlines == 4096
+        assert TILE16.mem.hashlines == 2048
+        assert TILE64.mem.hashlines == 2048
+
+    def test_accumulator_scaling(self):
+        assert (TILE4.mem.accumulators, TILE16.mem.accumulators,
+                TILE64.mem.accumulators) == (128, 256, 512)
+
+    def test_table2_rows_shape(self):
+        rows = TILE16.table2_rows()
+        assert rows["NeuraCore/Multipliers"] == 4
+        assert rows["NeuraMem/Hash-Engines"] == 4
+        assert len(rows) == 10
+
+
+class TestDerivedAndHelpers:
+    def test_peak_bandwidth_bytes_per_cycle(self):
+        assert TILE16.peak_bandwidth_bytes_per_cycle == pytest.approx(128.0)
+
+    def test_with_mapping_returns_copy(self):
+        modified = TILE16.with_mapping("ring")
+        assert modified.mapping_scheme == "ring"
+        assert TILE16.mapping_scheme == "drhm"
+
+    def test_with_mmh_tile_returns_copy(self):
+        modified = TILE16.with_mmh_tile(8)
+        assert modified.mmh_tile_size == 8
+        assert TILE16.mmh_tile_size == 4
+
+    def test_gnn_config_peak_performance(self):
+        assert GNN_TILE16.peak_gflops == 8192.0
+        assert GNN_TILE16.total_cores == 8 * 256
+
+    def test_peak_gflops_ordering(self):
+        assert TILE4.peak_gflops < TILE16.peak_gflops < TILE64.peak_gflops

@@ -1,0 +1,88 @@
+"""Unit tests for sparse format conversions."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    dense_to_coo,
+)
+from repro.sparse.coo import COOMatrix
+
+
+class TestCOOToCompressed:
+    def test_coo_to_csr_matches_dense(self, small_coo, small_dense):
+        assert np.array_equal(coo_to_csr(small_coo).to_dense(), small_dense)
+
+    def test_coo_to_csc_matches_dense(self, small_coo, small_dense):
+        assert np.array_equal(coo_to_csc(small_coo).to_dense(), small_dense)
+
+    def test_duplicates_are_summed_in_csr(self):
+        coo = COOMatrix(np.array([0, 0]), np.array([1, 1]),
+                        np.array([1.5, 2.5]), (2, 2))
+        csr = coo_to_csr(coo)
+        assert csr.nnz == 1
+        assert csr.get(0, 1) == pytest.approx(4.0)
+
+    def test_duplicates_are_summed_in_csc(self):
+        coo = COOMatrix(np.array([1, 1]), np.array([0, 0]),
+                        np.array([1.0, 1.0]), (2, 2))
+        csc = coo_to_csc(coo)
+        assert csc.nnz == 1
+        assert csc.get(1, 0) == pytest.approx(2.0)
+
+    def test_empty_coo_conversion(self):
+        coo = COOMatrix.empty((3, 4))
+        assert coo_to_csr(coo).nnz == 0
+        assert coo_to_csc(coo).nnz == 0
+
+    def test_indices_sorted_within_rows(self, random_coo):
+        csr = coo_to_csr(random_coo)
+        for i in range(csr.shape[0]):
+            cols, _ = csr.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_indices_sorted_within_cols(self, random_coo):
+        csc = coo_to_csc(random_coo)
+        for j in range(csc.shape[1]):
+            rows, _ = csc.col(j)
+            assert np.all(np.diff(rows) > 0)
+
+
+class TestCompressedToCOO:
+    def test_csr_roundtrip(self, random_coo):
+        dense = random_coo.to_dense()
+        back = csr_to_coo(coo_to_csr(random_coo))
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_csc_roundtrip(self, random_coo):
+        dense = random_coo.to_dense()
+        back = csc_to_coo(coo_to_csc(random_coo))
+        assert np.allclose(back.to_dense(), dense)
+
+
+class TestCrossConversions:
+    def test_csr_to_csc_preserves_matrix(self, random_coo):
+        csr = coo_to_csr(random_coo)
+        csc = csr_to_csc(csr)
+        assert np.allclose(csc.to_dense(), csr.to_dense())
+
+    def test_csc_to_csr_preserves_matrix(self, random_coo):
+        csc = coo_to_csc(random_coo)
+        csr = csc_to_csr(csc)
+        assert np.allclose(csr.to_dense(), csc.to_dense())
+
+    def test_dense_to_coo(self, small_dense):
+        assert np.array_equal(dense_to_coo(small_dense).to_dense(), small_dense)
+
+    def test_rectangular_matrices(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((5, 9)) < 0.3) * rng.random((5, 9))
+        coo = dense_to_coo(dense)
+        assert np.allclose(coo_to_csr(coo).to_dense(), dense)
+        assert np.allclose(coo_to_csc(coo).to_dense(), dense)

@@ -1,0 +1,105 @@
+"""Unit tests for the COO sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.to_dense(), small_dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_empty_matrix(self):
+        coo = COOMatrix.empty((3, 5))
+        assert coo.nnz == 0
+        assert coo.shape == (3, 5)
+        assert np.array_equal(coo.to_dense(), np.zeros((3, 5)))
+
+    def test_from_edges_defaults_to_unit_weights(self):
+        coo = COOMatrix.from_edges([(0, 1), (1, 2)], shape=(3, 3))
+        assert coo.nnz == 2
+        assert np.all(coo.data == 1.0)
+
+    def test_from_edges_empty(self):
+        coo = COOMatrix.from_edges([], shape=(3, 3))
+        assert coo.nnz == 0
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_edges(np.zeros((2, 3), dtype=np.int64), shape=(3, 3))
+
+    def test_out_of_bounds_row_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (3, 3))
+
+    def test_out_of_bounds_col_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(np.array([0]), np.array([7]), np.array([1.0]), (3, 3))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (3, 3))
+
+
+class TestProperties:
+    def test_nnz(self, small_coo):
+        assert small_coo.nnz == 7
+
+    def test_sparsity(self, small_coo):
+        assert small_coo.sparsity == pytest.approx(1.0 - 7 / 16)
+
+    def test_sparsity_of_empty_shape(self):
+        coo = COOMatrix.empty((0, 0))
+        assert coo.sparsity == 0.0
+
+
+class TestOperations:
+    def test_sum_duplicates_merges_entries(self):
+        coo = COOMatrix(np.array([0, 0, 1]), np.array([1, 1, 0]),
+                        np.array([2.0, 3.0, 4.0]), (2, 2))
+        merged = coo.sum_duplicates()
+        assert merged.nnz == 2
+        assert merged.to_dense()[0, 1] == pytest.approx(5.0)
+
+    def test_sum_duplicates_on_empty(self):
+        merged = COOMatrix.empty((2, 2)).sum_duplicates()
+        assert merged.nnz == 0
+
+    def test_prune_removes_small_entries(self):
+        coo = COOMatrix(np.array([0, 1]), np.array([0, 1]),
+                        np.array([1e-12, 2.0]), (2, 2))
+        pruned = coo.prune(tol=1e-9)
+        assert pruned.nnz == 1
+        assert pruned.to_dense()[1, 1] == pytest.approx(2.0)
+
+    def test_transpose_swaps_shape_and_values(self, small_coo, small_dense):
+        transposed = small_coo.transpose()
+        assert transposed.shape == (small_coo.shape[1], small_coo.shape[0])
+        assert np.array_equal(transposed.to_dense(), small_dense.T)
+
+    def test_copy_is_independent(self, small_coo):
+        copy = small_coo.copy()
+        copy.data[0] = 99.0
+        assert small_coo.data[0] != 99.0
+
+    def test_equality_ignores_entry_order(self):
+        a = COOMatrix(np.array([0, 1]), np.array([1, 0]),
+                      np.array([2.0, 3.0]), (2, 2))
+        b = COOMatrix(np.array([1, 0]), np.array([0, 1]),
+                      np.array([3.0, 2.0]), (2, 2))
+        assert a == b
+
+    def test_equality_shape_mismatch(self, small_coo):
+        other = COOMatrix.empty((5, 5))
+        assert small_coo != other
+
+    def test_to_dense_sums_duplicates(self):
+        coo = COOMatrix(np.array([0, 0]), np.array([0, 0]),
+                        np.array([1.0, 2.0]), (1, 1))
+        assert coo.to_dense()[0, 0] == pytest.approx(3.0)

@@ -1,0 +1,129 @@
+"""Unit and integration tests for the high-level NeuraChip facade."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import TILE4
+from repro.core.api import NeuraChip, design_space_sweep
+from repro.datasets import load_dataset
+from repro.sim.params import SimulationParams
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return load_dataset("facebook", max_nodes=80, seed=6)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return NeuraChip("Tile-4")
+
+
+class TestConstruction:
+    def test_config_by_name_or_object(self):
+        assert NeuraChip("Tile-4").config is TILE4
+        assert NeuraChip(TILE4).config is TILE4
+
+    def test_unknown_config_name(self):
+        with pytest.raises(KeyError):
+            NeuraChip("Tile-1024")
+
+    def test_defaults(self, chip):
+        assert chip.mapping_scheme == "drhm"
+        assert chip.eviction_mode == "rolling"
+        assert isinstance(chip.params, SimulationParams)
+
+
+class TestRunSpGEMM:
+    def test_cycle_mode_end_to_end(self, chip, tiny_graph):
+        result = chip.run_spgemm(tiny_graph.adjacency_csr())
+        dense = tiny_graph.adjacency_csr().to_dense()
+        assert result.correct is True
+        assert np.allclose(result.output.to_dense(), dense @ dense)
+        assert result.report.cycles > 0
+        assert result.power_w > 0
+        assert result.energy_j > 0
+
+    def test_functional_mode_skips_cycle_report(self, chip, tiny_graph):
+        result = chip.run_spgemm(tiny_graph.adjacency_csr(), mode="functional")
+        assert result.report is None
+        assert result.correct is None
+        assert result.power_w == 0.0
+        dense = tiny_graph.adjacency_csr().to_dense()
+        assert np.allclose(result.output.to_dense(), dense @ dense)
+
+    def test_invalid_mode(self, chip, tiny_graph):
+        with pytest.raises(ValueError):
+            chip.run_spgemm(tiny_graph.adjacency_csr(), mode="magic")
+
+    def test_accepts_dense_and_coo_operands(self, chip):
+        rng = np.random.default_rng(0)
+        a = (rng.random((20, 20)) < 0.2) * rng.random((20, 20))
+        b = (rng.random((20, 20)) < 0.2) * rng.random((20, 20))
+        result = chip.run_spgemm(a, b, mode="functional")
+        assert np.allclose(result.output.to_dense(), a @ b)
+
+    def test_rejects_unsupported_operand_type(self, chip):
+        with pytest.raises(TypeError):
+            chip.run_spgemm("not a matrix", mode="functional")
+
+    def test_distinct_b_operand(self, chip, tiny_graph):
+        a = tiny_graph.adjacency_csr()
+        features = tiny_graph.features(dim=8, density=0.5)
+        result = chip.run_spgemm(a, features, mode="functional")
+        assert np.allclose(result.output.to_dense(),
+                           a.to_dense() @ features.to_dense())
+
+    def test_compile_only(self, chip, tiny_graph):
+        program = chip.compile(tiny_graph.adjacency_csr(), tile_size=2)
+        assert program.tile_size == 2
+        program.validate()
+
+
+class TestRunGCNLayer:
+    def test_layer_output_matches_reference(self, chip, tiny_graph):
+        result = chip.run_gcn_layer(tiny_graph, feature_dim=12, hidden_dim=6)
+        reference = result.workload.reference_output()
+        assert np.allclose(result.output, reference)
+        assert result.aggregation.correct is True
+        assert result.total_cycles > result.combination_cycles > 0
+
+    def test_layer_on_raw_adjacency(self, chip, tiny_graph):
+        result = chip.run_gcn_layer(tiny_graph.adjacency, feature_dim=8,
+                                    hidden_dim=4, mode="functional")
+        assert result.output.shape == (tiny_graph.n_nodes, 4)
+
+    def test_metadata_records_dimensions(self, chip, tiny_graph):
+        result = chip.run_gcn_layer(tiny_graph, feature_dim=10, hidden_dim=5,
+                                    mode="functional")
+        assert result.metadata == {"feature_dim": 10, "hidden_dim": 5}
+
+
+class TestPowerIntegration:
+    def test_power_breakdown_without_report(self, chip):
+        breakdown = chip.power_breakdown()
+        assert breakdown.total_area_mm2 == pytest.approx(2.37, abs=0.01)
+
+    def test_power_breakdown_with_report_activity(self, chip, tiny_graph):
+        result = chip.run_spgemm(tiny_graph.adjacency_csr(), verify=False)
+        breakdown = chip.power_breakdown(result.report)
+        full = chip.power_breakdown()
+        assert breakdown.total_power_w <= full.total_power_w + 1e-9
+
+
+class TestDesignSpaceSweep:
+    def test_sweep_normalised_to_tile4(self, tiny_graph):
+        sweep = design_space_sweep(tiny_graph.adjacency_csr(),
+                                   configs=("Tile-4", "Tile-16"))
+        assert set(sweep) == {"Tile-4", "Tile-16"}
+        for metric, value in sweep["Tile-4"].items():
+            assert value == pytest.approx(1.0), metric
+        assert sweep["Tile-16"]["cycles"] < 1.0  # bigger chip finishes sooner
+
+    def test_sweep_raw_values(self, tiny_graph):
+        sweep = design_space_sweep(tiny_graph.adjacency_csr(),
+                                   configs=("Tile-4",), normalize_to=None)
+        metrics = sweep["Tile-4"]
+        assert {"stall_cycles", "cpi", "ipc", "in_flight_instx", "power",
+                "busy_cycles", "cycles", "gops"} <= set(metrics)
+        assert metrics["cycles"] > 0

@@ -1,0 +1,72 @@
+"""End-to-end scenarios exercising the full public API surface together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NeuraChip,
+    TILE4,
+    TILE16,
+    compile_spgemm,
+    design_space_sweep,
+    load_dataset,
+)
+from repro.baselines.accelerators import speedup_table
+from repro.baselines.workload import SpGEMMWorkloadStats
+from repro.hashing import mapping_heatmap
+from repro.power import power_breakdown
+from repro.sparse.convert import csr_to_csc
+from repro.viz.export import format_table, heatmap_to_text, histogram_to_rows
+
+
+class TestSpGEMMPipeline:
+    """Dataset -> compile -> simulate -> compare against baselines -> export."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("email-Enron", max_nodes=96, seed=9)
+
+    def test_full_pipeline(self, dataset):
+        a_csr = dataset.adjacency_csr()
+        program = compile_spgemm(csr_to_csc(a_csr), a_csr, tile_size=4,
+                                 source=dataset.name)
+        chip = NeuraChip(TILE16)
+        result = chip.run_spgemm(a_csr, source=dataset.name)
+        assert result.correct is True
+        assert result.report.mmh_instructions == program.n_instructions
+
+        stats = SpGEMMWorkloadStats.from_matrices(dataset.name, a_csr)
+        table = speedup_table([stats])
+        assert table["MKL"][dataset.name] > 1.0
+
+        rows = histogram_to_rows(result.report.mmh_cpi_histogram)
+        rendered = format_table(rows)
+        assert dataset.name or rendered  # renders without error
+
+    def test_mapping_heatmap_export(self, dataset):
+        heatmap = mapping_heatmap("drhm", dataset.adjacency_csc(),
+                                  dataset.adjacency_csr(), n_cores=8, n_mems=8)
+        art = heatmap_to_text(heatmap)
+        assert len(art.splitlines()) == 8
+
+
+class TestGCNPipeline:
+    def test_gcn_layer_on_two_configs(self):
+        dataset = load_dataset("cora", max_nodes=96, seed=3)
+        small = NeuraChip(TILE4).run_gcn_layer(dataset, feature_dim=12, hidden_dim=6)
+        large = NeuraChip(TILE16).run_gcn_layer(dataset, feature_dim=12, hidden_dim=6)
+        assert small.aggregation.correct and large.aggregation.correct
+        assert large.aggregation.report.cycles < small.aggregation.report.cycles
+        assert np.allclose(small.output, large.output)
+
+
+class TestDesignSpaceAndPower:
+    def test_sweep_and_power_are_consistent(self):
+        dataset = load_dataset("p2p-Gnutella31", max_nodes=96, seed=2)
+        sweep = design_space_sweep(dataset.adjacency_csr(),
+                                   configs=("Tile-4", "Tile-16"),
+                                   normalize_to=None)
+        assert sweep["Tile-16"]["cycles"] < sweep["Tile-4"]["cycles"]
+        assert sweep["Tile-16"]["power"] > sweep["Tile-4"]["power"]
+        assert power_breakdown(TILE16).total_power_w > \
+            power_breakdown(TILE4).total_power_w

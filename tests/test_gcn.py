@@ -1,0 +1,122 @@
+"""Unit tests for the GCN reference layer (Equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.gnn.gcn import (
+    GCNLayer,
+    GCNWorkload,
+    gcn_forward_reference,
+    normalize_adjacency,
+    relu,
+)
+from repro.sparse.coo import COOMatrix
+
+
+@pytest.fixture(scope="module")
+def cora_small():
+    return load_dataset("cora", max_nodes=128, seed=4)
+
+
+class TestNormalization:
+    def test_normalized_adjacency_is_symmetric_for_undirected_graph(self, cora_small):
+        a_hat = normalize_adjacency(cora_small.adjacency).to_dense()
+        assert np.allclose(a_hat, a_hat.T, atol=1e-12)
+
+    def test_self_loops_added(self, cora_small):
+        a_hat = normalize_adjacency(cora_small.adjacency)
+        assert np.all(np.diag(a_hat.to_dense()) > 0)
+
+    def test_without_self_loops(self, cora_small):
+        a_hat = normalize_adjacency(cora_small.adjacency, add_self_loops=False)
+        dense = cora_small.adjacency.to_dense()
+        zero_diag_rows = np.where(np.diag(dense) == 0)[0]
+        assert np.all(np.diag(a_hat.to_dense())[zero_diag_rows] == 0)
+
+    def test_row_sums_bounded_by_one(self, cora_small):
+        # Symmetric normalisation keeps the spectral radius at or below 1.
+        a_hat = normalize_adjacency(cora_small.adjacency).to_dense()
+        eigenvalues = np.linalg.eigvalsh(a_hat)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_does_not_divide_by_zero(self):
+        adjacency = COOMatrix.from_edges([(0, 1), (1, 0)], shape=(3, 3))
+        a_hat = normalize_adjacency(adjacency, add_self_loops=False)
+        assert np.all(np.isfinite(a_hat.to_dense()))
+
+
+class TestLayer:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_layer_dimensions(self):
+        layer = GCNLayer.create(16, 8)
+        assert layer.in_dim == 16 and layer.out_dim == 8
+
+    def test_forward_equals_aggregation_then_combination(self, cora_small):
+        layer = GCNLayer.create(12, 6, seed=0)
+        a_hat = normalize_adjacency(cora_small.adjacency)
+        features = np.random.default_rng(0).random((cora_small.n_nodes, 12))
+        full = layer.forward(a_hat, features)
+        split = layer.combination(layer.aggregation(a_hat, features))
+        assert np.allclose(full, split)
+
+    def test_relu_clamps_negative_outputs(self, cora_small):
+        layer = GCNLayer.create(8, 4, seed=1)
+        a_hat = normalize_adjacency(cora_small.adjacency)
+        features = np.random.default_rng(1).standard_normal((cora_small.n_nodes, 8))
+        assert np.all(layer.forward(a_hat, features) >= 0.0)
+
+    def test_identity_activation(self, cora_small):
+        layer = GCNLayer(weight=np.eye(4), activation="identity")
+        a_hat = normalize_adjacency(cora_small.adjacency)
+        features = np.random.default_rng(2).standard_normal((cora_small.n_nodes, 4))
+        output = layer.forward(a_hat, features)
+        assert np.allclose(output, a_hat.to_dense() @ features)
+
+    def test_unknown_activation_rejected(self):
+        layer = GCNLayer(weight=np.eye(2), activation="softplus")
+        with pytest.raises(ValueError):
+            layer.forward(normalize_adjacency(
+                COOMatrix.from_edges([(0, 1)], (2, 2))), np.eye(2))
+
+
+class TestWorkload:
+    def test_build_produces_consistent_shapes(self, cora_small):
+        workload = GCNWorkload.build(cora_small, feature_dim=20, hidden_dim=10)
+        assert workload.features.shape == (cora_small.n_nodes, 20)
+        assert workload.layer.weight.shape == (20, 10)
+        assert workload.a_hat.shape == (cora_small.n_nodes, cora_small.n_nodes)
+
+    def test_flop_accounting(self, cora_small):
+        workload = GCNWorkload.build(cora_small, feature_dim=16, hidden_dim=8)
+        assert workload.combination_flops() == 2 * cora_small.n_nodes * 16 * 8
+        assert workload.aggregation_flops() > 0
+
+    def test_reference_output_shape(self, cora_small):
+        workload = GCNWorkload.build(cora_small, feature_dim=16, hidden_dim=8)
+        assert workload.reference_output().shape == (cora_small.n_nodes, 8)
+
+    def test_adjacency_csc_matches_a_hat(self, cora_small):
+        workload = GCNWorkload.build(cora_small, feature_dim=8, hidden_dim=4)
+        assert np.allclose(workload.adjacency_csc.to_dense(),
+                           workload.a_hat.to_dense())
+
+
+class TestMultiLayerReference:
+    def test_two_layer_forward(self, cora_small):
+        rng = np.random.default_rng(3)
+        features = rng.random((cora_small.n_nodes, 10))
+        weights = [rng.standard_normal((10, 6)), rng.standard_normal((6, 3))]
+        output = gcn_forward_reference(cora_small.adjacency, features, weights)
+        assert output.shape == (cora_small.n_nodes, 3)
+
+    def test_single_layer_matches_gcnlayer_without_activation(self, cora_small):
+        rng = np.random.default_rng(4)
+        features = rng.random((cora_small.n_nodes, 5))
+        weight = rng.standard_normal((5, 2))
+        reference = gcn_forward_reference(cora_small.adjacency, features, [weight])
+        layer = GCNLayer(weight=weight, activation="identity")
+        direct = layer.forward(normalize_adjacency(cora_small.adjacency), features)
+        assert np.allclose(reference, direct)

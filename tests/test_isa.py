@@ -1,0 +1,110 @@
+"""Unit tests for the MMH / HACC instruction encodings (Figures 7 and 9)."""
+
+import pytest
+
+from repro.arch.isa import (
+    HACCInstruction,
+    INSTRUCTION_BITS,
+    MMHInstruction,
+    Opcode,
+    decode_from_bytes,
+    decode_hacc,
+    decode_mmh,
+    encode_hacc,
+    encode_mmh,
+    encode_to_bytes,
+)
+
+
+class TestOpcode:
+    def test_mmh_for_tile_mapping(self):
+        assert Opcode.mmh_for_tile(1) is Opcode.MMH1
+        assert Opcode.mmh_for_tile(2) is Opcode.MMH2
+        assert Opcode.mmh_for_tile(4) is Opcode.MMH4
+        assert Opcode.mmh_for_tile(8) is Opcode.MMH8
+
+    def test_mmh_for_tile_invalid(self):
+        with pytest.raises(ValueError):
+            Opcode.mmh_for_tile(3)
+
+    def test_tile_size_roundtrip(self):
+        for size in (1, 2, 4, 8):
+            assert Opcode.mmh_for_tile(size).mmh_tile_size == size
+
+    def test_tile_size_of_non_mmh_opcode(self):
+        with pytest.raises(ValueError):
+            _ = Opcode.HACC.mmh_tile_size
+
+
+class TestMMHEncoding:
+    def _instr(self, **overrides):
+        fields = dict(opcode=Opcode.MMH4, base_addr=0x1000, a_data_addr=0x10,
+                      b_col_ind_addr=0x20, b_data_addr=0x30, roll_counter_addr=0x40)
+        fields.update(overrides)
+        return MMHInstruction(**fields)
+
+    def test_roundtrip(self):
+        instr = self._instr()
+        assert decode_mmh(encode_mmh(instr)) == instr
+
+    def test_encoded_width_fits_128_bits(self):
+        word = encode_mmh(self._instr(base_addr=(1 << 32) - 1,
+                                      a_data_addr=(1 << 22) - 1,
+                                      b_col_ind_addr=(1 << 22) - 1,
+                                      b_data_addr=(1 << 22) - 1,
+                                      roll_counter_addr=(1 << 22) - 1))
+        assert word < (1 << INSTRUCTION_BITS)
+
+    def test_base_addr_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_mmh(self._instr(base_addr=1 << 32))
+
+    def test_offset_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_mmh(self._instr(a_data_addr=1 << 22))
+
+    def test_decode_rejects_non_mmh_word(self):
+        hacc_word = encode_hacc(HACCInstruction(tag=1, data=2.0,
+                                                writeback_addr=3, counter=4))
+        with pytest.raises(ValueError):
+            decode_mmh(hacc_word)
+
+    def test_max_haccs_matches_tile_square(self):
+        assert self._instr(opcode=Opcode.MMH4).max_haccs == 16
+        assert self._instr(opcode=Opcode.MMH2).max_haccs == 4
+
+    def test_byte_serialisation_length(self):
+        blob = encode_to_bytes(encode_mmh(self._instr()))
+        assert len(blob) == 16
+        assert decode_from_bytes(blob) == encode_mmh(self._instr())
+
+    def test_decode_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_from_bytes(b"\x00" * 5)
+
+
+class TestHACCEncoding:
+    def test_roundtrip(self):
+        instr = HACCInstruction(tag=0xDEADBEEF, data=3.5, writeback_addr=0x123456,
+                                counter=77)
+        decoded = decode_hacc(encode_hacc(instr))
+        assert decoded == instr
+
+    def test_negative_data_survives(self):
+        instr = HACCInstruction(tag=1, data=-2.25, writeback_addr=0, counter=1)
+        assert decode_hacc(encode_hacc(instr)).data == pytest.approx(-2.25)
+
+    def test_tag_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_hacc(HACCInstruction(tag=1 << 32, data=0.0, writeback_addr=0,
+                                        counter=0))
+
+    def test_counter_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_hacc(HACCInstruction(tag=0, data=0.0, writeback_addr=0,
+                                        counter=1 << 16))
+
+    def test_decode_rejects_non_hacc_word(self):
+        mmh_word = encode_mmh(MMHInstruction(Opcode.MMH4, 0, 0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            decode_hacc(mmh_word)

@@ -1,0 +1,205 @@
+"""Unit tests for the compute-mapping schemes (Sections 2.4 / 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.hashing.balance import (
+    compare_schemes,
+    load_balance_report,
+    mapping_heatmap,
+    summarize_counts,
+)
+from repro.hashing.mappings import (
+    DynamicReseedHashMapping,
+    ModularHashMapping,
+    RandomLookupMapping,
+    RingHashMapping,
+    make_mapping,
+)
+
+
+class TestFactory:
+    def test_make_mapping_by_name(self):
+        for name in ("ring", "modular", "random", "drhm"):
+            scheme = make_mapping(name, 16)
+            assert scheme.name == name
+            assert scheme.n_resources == 16
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_mapping("quantum", 8)
+
+    def test_invalid_resource_count(self):
+        with pytest.raises(ValueError):
+            RingHashMapping(0)
+
+
+class TestRing:
+    def test_modulo_behaviour(self):
+        scheme = RingHashMapping(8)
+        assert scheme.map(0) == 0
+        assert scheme.map(9) == 1
+        assert scheme.map(8 * 5) == 0
+
+    def test_strided_tags_hit_few_resources(self):
+        scheme = RingHashMapping(16)
+        hits = {scheme.map(tag) for tag in range(0, 1600, 16)}
+        assert len(hits) == 1  # the hot-spot weakness of ring mapping
+
+    def test_no_lookup_state(self):
+        assert RingHashMapping(8).lookup_table_bytes() == 0
+
+
+class TestModular:
+    def test_in_range(self):
+        scheme = ModularHashMapping(12)
+        for tag in range(500):
+            assert 0 <= scheme.map(tag) < 12
+
+    def test_invalid_prime(self):
+        with pytest.raises(ValueError):
+            ModularHashMapping(8, prime=1)
+
+    def test_consistency(self):
+        scheme = ModularHashMapping(8)
+        assert scheme.map(12345) == scheme.map(12345)
+
+
+class TestRandomLookup:
+    def test_consistency_via_table(self):
+        scheme = RandomLookupMapping(8, seed=1)
+        first = scheme.map(999)
+        assert all(scheme.map(999) == first for _ in range(10))
+
+    def test_table_grows_with_distinct_tags(self):
+        scheme = RandomLookupMapping(8, seed=1)
+        for tag in range(100):
+            scheme.map(tag)
+        assert scheme.lookup_table_bytes() == 100 * 8
+
+    def test_distribution_roughly_uniform(self):
+        scheme = RandomLookupMapping(4, seed=0)
+        counts = np.bincount([scheme.map(t) for t in range(4000)], minlength=4)
+        assert counts.min() > 800
+
+
+class TestDRHM:
+    def test_in_range_and_consistent_before_reseed(self):
+        scheme = DynamicReseedHashMapping(16, seed=3)
+        values = [scheme.map(tag) for tag in range(200)]
+        assert all(0 <= v < 16 for v in values)
+        assert values == [scheme.map(tag) for tag in range(200)]
+
+    def test_reseed_changes_mapping(self):
+        scheme = DynamicReseedHashMapping(64, seed=3)
+        before = [scheme.map(tag) for tag in range(100)]
+        scheme.reseed()
+        after = [scheme.map(tag) for tag in range(100)]
+        assert before != after
+
+    def test_seed_history_grows_on_reseed(self):
+        scheme = DynamicReseedHashMapping(8, seed=0)
+        initial = len(scheme.seed_history())
+        scheme.reseed(0)
+        scheme.reseed(1)
+        assert len(scheme.seed_history()) == initial + 2
+
+    def test_group_mapping_is_consistent_across_reseeds(self):
+        scheme = DynamicReseedHashMapping(32, seed=7)
+        before = scheme.map(1234, group=5)
+        scheme.reseed()
+        scheme.reseed()
+        assert scheme.map(1234, group=5) == before
+
+    def test_different_groups_use_different_seeds(self):
+        scheme = DynamicReseedHashMapping(64, seed=7)
+        assignments = {scheme.map(100, group=g) for g in range(50)}
+        assert len(assignments) > 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DynamicReseedHashMapping(8, k=40)
+
+    def test_lower_and_upper_bit_variants_differ(self):
+        lower = DynamicReseedHashMapping(64, k=16, seed=1, use_lower_bits=True)
+        upper = DynamicReseedHashMapping(64, k=16, seed=1, use_lower_bits=False)
+        tags = list(range(1, 200))
+        assert [lower.map(t) for t in tags] != [upper.map(t) for t in tags]
+
+    def test_lookup_table_is_compact(self):
+        scheme = DynamicReseedHashMapping(8, seed=0)
+        for g in range(100):
+            scheme.map(g * 17, group=g)
+        # Only 4 bytes per seed, far below a full per-tag table.
+        assert scheme.lookup_table_bytes() <= (100 + 1) * 4
+
+
+class TestBalanceMetrics:
+    def test_summarize_counts(self):
+        report = summarize_counts("probe", np.array([10, 10, 10, 10]))
+        assert report.max_over_mean == pytest.approx(1.0)
+        assert report.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_detects_concentration(self):
+        balanced = summarize_counts("a", np.array([5, 5, 5, 5]))
+        skewed = summarize_counts("b", np.array([20, 0, 0, 0]))
+        assert skewed.gini > balanced.gini
+        assert skewed.max_over_mean > balanced.max_over_mean
+
+    def test_load_balance_report_on_dataset(self):
+        dataset = load_dataset("wiki-Vote", max_nodes=128)
+        report = load_balance_report("drhm", dataset.adjacency_csc(),
+                                     dataset.adjacency_csr(), n_resources=16)
+        assert report.counts.sum() > 0
+        assert report.n_resources == 16
+
+    def test_scheme_name_requires_resources(self):
+        dataset = load_dataset("wiki-Vote", max_nodes=64)
+        with pytest.raises(ValueError):
+            load_balance_report("ring", dataset.adjacency_csc(),
+                                dataset.adjacency_csr())
+
+    def test_drhm_avoids_ring_hot_spots_on_strided_pattern(self):
+        """Ring mapping collapses strided output columns onto few resources
+        (the Figure 12 hot spots); DRHM stays balanced."""
+        n, n_resources = 64, 16
+        dense_a = np.zeros((n, n))
+        dense_b = np.zeros((n, n))
+        rng = np.random.default_rng(0)
+        dense_a[:, rng.integers(0, n, size=4 * n) % n] = 1.0
+        # B only has non-zeros in columns that are multiples of n_resources.
+        dense_b[:, ::n_resources] = 1.0
+        from repro.sparse.convert import coo_to_csc, coo_to_csr, dense_to_coo
+
+        a_csc = coo_to_csc(dense_to_coo(dense_a))
+        b_csr = coo_to_csr(dense_to_coo(dense_b))
+        reports = compare_schemes(a_csc, b_csr, n_resources=n_resources,
+                                  schemes=("ring", "drhm"))
+        assert reports["ring"].gini > 0.5          # severe hot spots
+        assert reports["drhm"].gini < reports["ring"].gini
+        assert reports["drhm"].max_over_mean < reports["ring"].max_over_mean
+
+    def test_drhm_reasonably_balanced_on_mesh(self):
+        dataset = load_dataset("mario002", max_nodes=256)
+        report = load_balance_report("drhm", dataset.adjacency_csc(),
+                                     dataset.adjacency_csr(), n_resources=16)
+        assert report.gini < 0.2
+        assert report.max_over_mean < 1.6
+
+    def test_heatmap_shape_and_total(self):
+        dataset = load_dataset("facebook", max_nodes=96)
+        a_csc = dataset.adjacency_csc()
+        a_csr = dataset.adjacency_csr()
+        heatmap = mapping_heatmap("modular", a_csc, a_csr, n_cores=8, n_mems=16)
+        assert heatmap.shape == (8, 16)
+        from repro.sparse.bloat import partial_product_count
+
+        assert heatmap.sum() == partial_product_count(a_csr, a_csr)
+
+    def test_heatmap_scheme_instance_resource_mismatch(self):
+        dataset = load_dataset("facebook", max_nodes=64)
+        scheme = RingHashMapping(4)
+        with pytest.raises(ValueError):
+            mapping_heatmap(scheme, dataset.adjacency_csc(),
+                            dataset.adjacency_csr(), n_cores=4, n_mems=8)

@@ -1,0 +1,164 @@
+"""Unit tests for NeuraCore pipelines and the Dispatcher."""
+
+import pytest
+
+from repro.arch.isa import MMHInstruction, Opcode
+from repro.compiler.program import MMHMacroOp
+from repro.sim.dispatcher import Dispatcher
+from repro.sim.engine import Simulator
+from repro.sim.neuracore import NeuraCore
+from repro.sim.params import SimulationParams
+from repro.sim.stats import StatsCollector
+
+
+def make_mmh(sequence=0, k=0, n_a=2, n_b=2, reseed=False):
+    instr = MMHInstruction(Opcode.MMH4, 0, 0, 0, 0, 0)
+    return MMHMacroOp(opcode=Opcode.MMH4, k=k,
+                      a_rows=tuple(range(n_a)),
+                      a_values=tuple(1.0 for _ in range(n_a)),
+                      b_cols=tuple(range(n_b)),
+                      b_values=tuple(2.0 for _ in range(n_b)),
+                      instruction=instr, reseed_after=reseed, sequence=sequence)
+
+
+class _Harness:
+    """Minimal environment standing in for memory, NoC and NeuraMems."""
+
+    def __init__(self, read_latency=10.0, hacc_latency=3.0):
+        self.sim = Simulator()
+        self.params = SimulationParams()
+        self.stats = StatsCollector()
+        self.read_latency = read_latency
+        self.hacc_latency = hacc_latency
+        self.reads = []
+        self.haccs = []
+        self.retired = []
+
+    def read(self, addr, nbytes, callback):
+        self.reads.append((addr, nbytes))
+        self.sim.schedule(self.read_latency, callback)
+
+    def dispatch_hacc(self, core, op, index, arrival_callback):
+        self.haccs.append((core.core_id, op.sequence, index))
+        self.sim.schedule(self.hacc_latency, arrival_callback)
+
+    def on_retire(self, core, op, latency):
+        self.retired.append((op.sequence, latency))
+
+    def make_core(self, core_id=0, pipelines=2, registers=4, multipliers=2):
+        return NeuraCore(core_id=core_id, position=(0, 0), sim=self.sim,
+                         params=self.params, stats=self.stats,
+                         n_pipelines=pipelines, pipeline_registers=registers,
+                         multipliers=multipliers, read_fn=self.read,
+                         dispatch_hacc_fn=self.dispatch_hacc,
+                         on_retire=self.on_retire)
+
+
+class TestNeuraCore:
+    def test_mmh_issues_four_memory_requests(self):
+        env = _Harness()
+        core = env.make_core()
+        core.issue(make_mmh())
+        env.sim.run()
+        assert len(env.reads) == 4
+
+    def test_mmh_dispatches_one_hacc_per_partial_product(self):
+        env = _Harness()
+        core = env.make_core()
+        core.issue(make_mmh(n_a=3, n_b=4))
+        env.sim.run()
+        assert len(env.haccs) == 12
+        assert core.haccs_dispatched == 12
+
+    def test_retire_happens_after_all_haccs_arrive(self):
+        env = _Harness(hacc_latency=50.0)
+        core = env.make_core()
+        core.issue(make_mmh())
+        env.sim.run()
+        assert len(env.retired) == 1
+        assert env.retired[0][1] >= 50.0
+        assert core.instructions_retired == 1
+        assert core.in_flight == 0
+
+    def test_latency_includes_memory_wait(self):
+        fast = _Harness(read_latency=1.0)
+        fast_core = fast.make_core()
+        fast_core.issue(make_mmh())
+        fast.sim.run()
+
+        slow = _Harness(read_latency=200.0)
+        slow_core = slow.make_core()
+        slow_core.issue(make_mmh())
+        slow.sim.run()
+        assert slow.retired[0][1] > fast.retired[0][1] + 150
+        assert slow_core.stall_cycles > fast_core.stall_cycles
+
+    def test_capacity_is_pipelines_times_register_slots(self):
+        env = _Harness()
+        core = env.make_core(pipelines=2, registers=4)  # 2 slots per pipeline
+        for i in range(4):
+            assert core.can_accept()
+            core.issue(make_mmh(sequence=i))
+        assert not core.can_accept()
+        with pytest.raises(RuntimeError):
+            core.issue(make_mmh(sequence=99))
+        env.sim.run()
+        assert core.can_accept()
+
+    def test_empty_mmh_retires_without_haccs(self):
+        env = _Harness()
+        core = env.make_core()
+        core.issue(make_mmh(n_a=0, n_b=0))
+        env.sim.run()
+        assert env.haccs == []
+        assert len(env.retired) == 1
+
+    def test_cpi_histogram_populated(self):
+        env = _Harness()
+        core = env.make_core()
+        core.issue(make_mmh())
+        env.sim.run()
+        assert env.stats.histograms["mmh_cpi"].total_observations == 1
+
+
+class TestDispatcher:
+    def _run(self, n_ops, n_cores=2, dispatch_width=2):
+        env = _Harness()
+        cores = [env.make_core(core_id=i) for i in range(n_cores)]
+        params = env.params.scaled(dispatch_width=dispatch_width)
+        dispatcher = Dispatcher(env.sim, params, cores, env.stats)
+        for core in cores:
+            core._on_retire = lambda c, op, lat, d=dispatcher: (
+                env.on_retire(c, op, lat), d.notify_slot_free())
+        dispatcher.load([make_mmh(sequence=i) for i in range(n_ops)])
+        dispatcher.start()
+        env.sim.run()
+        return env, cores, dispatcher
+
+    def test_all_instructions_are_issued_and_retired(self):
+        env, cores, dispatcher = self._run(n_ops=12)
+        assert dispatcher.instructions_issued == 12
+        assert dispatcher.done
+        assert sum(c.instructions_retired for c in cores) == 12
+        assert len(env.retired) == 12
+
+    def test_work_is_spread_across_cores(self):
+        _env, cores, _dispatcher = self._run(n_ops=16, n_cores=4)
+        per_core = [c.instructions_retired for c in cores]
+        assert min(per_core) >= 2
+
+    def test_backpressure_when_cores_full(self):
+        # Many ops, one tiny core: the dispatcher must wait for retirements.
+        env, cores, dispatcher = self._run(n_ops=20, n_cores=1, dispatch_width=8)
+        assert dispatcher.done
+        assert cores[0].instructions_retired == 20
+
+    def test_empty_program(self):
+        env = _Harness()
+        core = env.make_core()
+        dispatcher = Dispatcher(env.sim, env.params, [core], env.stats)
+        dispatcher.load([])
+        dispatcher.start()
+        env.sim.run()
+        assert dispatcher.done
+        assert dispatcher.remaining == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the area / power model (Table 4, Table 5 derived rows)."""
+
+import pytest
+
+from repro.arch.config import GNN_TILE16, TILE16, TILE4, TILE64
+from repro.power.model import (
+    PowerModel,
+    TABLE4_REFERENCE,
+    area_breakdown,
+    area_efficiency_gops_per_mm2,
+    energy_efficiency_gops_per_watt,
+    power_breakdown,
+)
+
+
+class TestTable4Reproduction:
+    @pytest.mark.parametrize("config", [TILE4, TILE16, TILE64])
+    def test_area_matches_paper_totals(self, config):
+        breakdown = area_breakdown(config)
+        paper_total = TABLE4_REFERENCE["Total"][config.name][0]
+        assert breakdown.total_area_mm2 == pytest.approx(paper_total, rel=1e-6)
+
+    @pytest.mark.parametrize("config", [TILE4, TILE16, TILE64])
+    def test_full_activity_power_matches_paper_totals(self, config):
+        breakdown = power_breakdown(config)  # activity defaults to 1.0
+        paper_total = TABLE4_REFERENCE["Total"][config.name][1]
+        assert breakdown.total_power_w == pytest.approx(paper_total, rel=1e-6)
+
+    @pytest.mark.parametrize("config,unit", [
+        (TILE4, "NeuraCore"), (TILE16, "NeuraMem"), (TILE64, "Router"),
+        (TILE16, "Memory Controller"),
+    ])
+    def test_per_unit_values_match_paper(self, config, unit):
+        area = area_breakdown(config).area_mm2[unit]
+        power = power_breakdown(config).power_w[unit]
+        assert area == pytest.approx(TABLE4_REFERENCE[unit][config.name][0], rel=1e-6)
+        assert power == pytest.approx(TABLE4_REFERENCE[unit][config.name][1], rel=1e-6)
+
+    def test_neuramem_dominates_area(self):
+        """The paper notes most of the area goes to the NeuraMem units."""
+        breakdown = area_breakdown(TILE64)
+        assert breakdown.area_mm2["NeuraMem"] == max(breakdown.area_mm2.values())
+
+    def test_table_rows_include_total(self):
+        rows = PowerModel().combined(TILE16).as_table_rows()
+        assert rows[-1]["unit"] == "Total"
+        assert rows[-1]["area_mm2"] == pytest.approx(10.2, abs=0.05)
+
+
+class TestActivityScaling:
+    def test_idle_power_below_full_activity(self):
+        idle = power_breakdown(TILE16, activity={"NeuraCore": 0.0, "NeuraMem": 0.0,
+                                                 "Router": 0.0,
+                                                 "Memory Controller": 0.0})
+        busy = power_breakdown(TILE16)
+        assert idle.total_power_w < busy.total_power_w
+        assert idle.total_power_w >= busy.total_power_w * PowerModel.STATIC_FRACTION - 1e-9
+
+    def test_activity_is_clamped(self):
+        over = power_breakdown(TILE16, activity={"NeuraCore": 5.0})
+        full = power_breakdown(TILE16, activity={"NeuraCore": 1.0})
+        assert over.power_w["NeuraCore"] == pytest.approx(full.power_w["NeuraCore"])
+
+    def test_partial_activity_between_bounds(self):
+        half = power_breakdown(TILE16, activity={"NeuraCore": 0.5})
+        idle = power_breakdown(TILE16, activity={"NeuraCore": 0.0})
+        full = power_breakdown(TILE16, activity={"NeuraCore": 1.0})
+        assert idle.power_w["NeuraCore"] < half.power_w["NeuraCore"] \
+            < full.power_w["NeuraCore"]
+
+
+class TestCustomConfigurations:
+    def test_gnn_config_uses_nearest_reference(self):
+        breakdown = area_breakdown(GNN_TILE16)
+        # 2048 NeuraCores at the Tile-64 per-core area: much larger than Tile-64.
+        assert breakdown.total_area_mm2 > area_breakdown(TILE64).total_area_mm2
+
+    def test_area_scales_with_component_count(self):
+        assert area_breakdown(TILE64).total_area_mm2 > \
+            area_breakdown(TILE16).total_area_mm2 > \
+            area_breakdown(TILE4).total_area_mm2
+
+
+class TestDerivedEfficiencies:
+    def test_energy_efficiency_matches_table5(self):
+        # Table 5: Tile-16 achieves 24.75 GOP/s at 16.06 W -> 1.541 GOPS/W.
+        assert energy_efficiency_gops_per_watt(24.75, 16.06) == pytest.approx(1.541,
+                                                                              abs=0.01)
+
+    def test_area_efficiency_matches_table5(self):
+        # Table 5: Tile-16 achieves 24.75 GOP/s on 10.2 mm^2 -> 2.426 GOPS/mm^2.
+        assert area_efficiency_gops_per_mm2(24.75, 10.2) == pytest.approx(2.426,
+                                                                          abs=0.01)
+
+    def test_zero_denominators(self):
+        assert energy_efficiency_gops_per_watt(10.0, 0.0) == 0.0
+        assert area_efficiency_gops_per_mm2(10.0, 0.0) == 0.0

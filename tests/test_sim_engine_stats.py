@@ -1,0 +1,178 @@
+"""Unit tests for the simulation kernel and statistics collection."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import Histogram, LevelTracker, StatsCollector
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, order.append, "late")
+        sim.schedule(1, order.append, "early")
+        sim.schedule(3, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2, order.append, "first")
+        sim.schedule(2, order.append, "second")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(7.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(7.5)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(2, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1, lambda: None)
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i, lambda: None)
+        sim.run(max_events=4)
+        assert sim.pending_events == 6
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1, hits.append, 1)
+        sim.schedule(10, hits.append, 10)
+        sim.run(until=5)
+        assert hits == [1]
+        sim.run()
+        assert hits == [1, 10]
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(3, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram(bin_width=25, n_bins=4)
+        for value in (0, 24, 26, 30, 99, 500):
+            hist.add(value)
+        assert hist.counts.tolist() == [2, 2, 0, 2]
+
+    def test_mean(self):
+        hist = Histogram(bin_width=10, n_bins=3)
+        hist.add(5)
+        hist.add(15)
+        assert hist.mean == pytest.approx(10.0)
+
+    def test_empty_histogram(self):
+        hist = Histogram(bin_width=10, n_bins=3)
+        assert hist.mean == 0.0
+        assert hist.percentages().sum() == 0.0
+
+    def test_labels_include_overflow_marker(self):
+        hist = Histogram(bin_width=50, n_bins=3)
+        labels = hist.labels()
+        assert labels[0] == "0-50"
+        assert labels[-1].endswith("+")
+
+    def test_percentages_sum_to_hundred(self):
+        hist = Histogram(bin_width=25, n_bins=20)
+        for value in range(0, 1000, 7):
+            hist.add(value)
+        assert hist.percentages().sum() == pytest.approx(100.0)
+
+    def test_as_dict(self):
+        hist = Histogram(bin_width=25, n_bins=2)
+        hist.add(10)
+        assert hist.as_dict()["0-25"] == pytest.approx(100.0)
+
+
+class TestLevelTracker:
+    def test_average_of_constant_level(self):
+        tracker = LevelTracker()
+        tracker.change(0.0, 4)
+        assert tracker.average(10.0) == pytest.approx(4.0)
+
+    def test_average_of_step_profile(self):
+        tracker = LevelTracker()
+        tracker.change(0.0, 2)
+        tracker.change(5.0, 2)   # level 4 for the second half
+        assert tracker.average(10.0) == pytest.approx(3.0)
+
+    def test_peak(self):
+        tracker = LevelTracker()
+        tracker.change(0.0, 3)
+        tracker.change(1.0, 5)
+        tracker.change(2.0, -6)
+        assert tracker.peak == 8
+        assert tracker.current == 2
+
+    def test_zero_duration(self):
+        tracker = LevelTracker()
+        assert tracker.average(0.0) == 0.0
+
+
+class TestStatsCollector:
+    def test_counters_and_observations(self):
+        stats = StatsCollector()
+        stats.incr("hits")
+        stats.incr("hits", 2)
+        stats.observe("latency", 10)
+        stats.observe("latency", 20)
+        assert stats.counters["hits"] == 3
+        assert stats.mean("latency") == pytest.approx(15.0)
+        assert stats.percentile("latency", 100) == pytest.approx(20.0)
+
+    def test_missing_series_default_to_zero(self):
+        stats = StatsCollector()
+        assert stats.mean("nothing") == 0.0
+        assert stats.percentile("nothing", 50) == 0.0
+
+    def test_histogram_is_cached_by_name(self):
+        stats = StatsCollector()
+        first = stats.histogram("cpi", 25, 20)
+        second = stats.histogram("cpi", 25, 20)
+        assert first is second
+
+    def test_summary_contains_levels_and_means(self):
+        stats = StatsCollector()
+        stats.incr("count", 5)
+        stats.observe("lat", 2.0)
+        stats.level("inflight").change(0.0, 3)
+        summary = stats.summary(end_time=10.0)
+        assert summary["count"] == 5
+        assert summary["lat.mean"] == pytest.approx(2.0)
+        assert summary["inflight.avg"] == pytest.approx(3.0)
+        assert summary["inflight.peak"] == 3

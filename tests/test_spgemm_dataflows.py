@@ -1,0 +1,111 @@
+"""Unit tests for the four SpGEMM dataflows (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import csr_to_csc
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spgemm import (
+    run_all_dataflows,
+    spgemm_dense_reference,
+    spgemm_inner_product,
+    spgemm_outer_product,
+    spgemm_row_wise,
+    spgemm_tiled_gustavson,
+)
+
+
+class TestCorrectness:
+    def test_all_dataflows_match_dense_reference(self, random_pair):
+        a, b = random_pair
+        reference = spgemm_dense_reference(a, b)
+        results = run_all_dataflows(a, b)
+        assert set(results) == {"inner", "outer", "row_wise", "tiled_gustavson"}
+        for name, result in results.items():
+            assert np.allclose(result.matrix.to_dense(), reference), name
+
+    def test_identity_product(self):
+        eye = CSRMatrix.from_dense(np.eye(6))
+        result = spgemm_row_wise(eye, eye)
+        assert np.allclose(result.matrix.to_dense(), np.eye(6))
+
+    def test_zero_matrix_product(self):
+        zero = CSRMatrix.empty((4, 4))
+        result = spgemm_row_wise(zero, zero)
+        assert result.output_nnz == 0
+        assert result.partial_products == 0
+
+    def test_rectangular_product(self):
+        rng = np.random.default_rng(7)
+        a_dense = (rng.random((6, 9)) < 0.4) * rng.random((6, 9))
+        b_dense = (rng.random((9, 5)) < 0.4) * rng.random((9, 5))
+        a = CSRMatrix.from_dense(a_dense)
+        b = CSRMatrix.from_dense(b_dense)
+        for name, result in run_all_dataflows(a, b).items():
+            assert np.allclose(result.matrix.to_dense(), a_dense @ b_dense), name
+
+    def test_dimension_mismatch_raises(self):
+        a = CSRMatrix.from_dense(np.ones((3, 4)))
+        b = CSRMatrix.from_dense(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            spgemm_row_wise(a, b)
+        with pytest.raises(ValueError):
+            spgemm_inner_product(a, csr_to_csc(b))
+        with pytest.raises(ValueError):
+            spgemm_outer_product(csr_to_csc(a), b)
+        with pytest.raises(ValueError):
+            spgemm_tiled_gustavson(csr_to_csc(a), b)
+
+
+class TestStatistics:
+    def test_partial_product_counts_agree_across_dataflows(self, random_pair):
+        a, b = random_pair
+        results = run_all_dataflows(a, b)
+        counts = {r.partial_products for r in results.values()}
+        assert len(counts) == 1
+
+    def test_bloat_is_consistent_with_equation_one(self, random_pair):
+        a, b = random_pair
+        result = spgemm_row_wise(a, b)
+        expected = (result.partial_products - result.output_nnz) / result.output_nnz * 100
+        assert result.bloat_percent == pytest.approx(expected)
+
+    def test_flops_is_twice_partial_products(self, random_pair):
+        a, b = random_pair
+        result = spgemm_row_wise(a, b)
+        assert result.flops == 2 * result.partial_products
+
+    def test_outer_product_reports_batches(self, random_pair):
+        a, b = random_pair
+        result = spgemm_outer_product(csr_to_csc(a), b)
+        assert 0 < result.intermediate_batches <= a.shape[1]
+
+    def test_accumulations_equal_pp_minus_output(self, random_pair):
+        a, b = random_pair
+        for name, result in run_all_dataflows(a, b).items():
+            assert result.accumulations == result.partial_products - result.output_nnz, name
+
+    def test_zero_output_bloat_is_zero(self):
+        zero = CSRMatrix.empty((3, 3))
+        result = spgemm_row_wise(zero, zero)
+        assert result.bloat_percent == 0.0
+
+
+class TestTiledGustavson:
+    @pytest.mark.parametrize("tile_rows", [1, 2, 3, 4, 8])
+    def test_tile_sizes_all_correct(self, random_pair, tile_rows):
+        a, b = random_pair
+        reference = spgemm_dense_reference(a, b)
+        result = spgemm_tiled_gustavson(csr_to_csc(a), b, tile_rows=tile_rows)
+        assert np.allclose(result.matrix.to_dense(), reference)
+
+    def test_invalid_tile_size(self, random_pair):
+        a, b = random_pair
+        with pytest.raises(ValueError):
+            spgemm_tiled_gustavson(csr_to_csc(a), b, tile_rows=0)
+
+    def test_larger_tiles_issue_fewer_instructions(self, random_pair):
+        a, b = random_pair
+        small = spgemm_tiled_gustavson(csr_to_csc(a), b, tile_rows=1)
+        large = spgemm_tiled_gustavson(csr_to_csc(a), b, tile_rows=8)
+        assert large.extra["mmh_instructions"] <= small.extra["mmh_instructions"]

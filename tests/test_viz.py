@@ -1,0 +1,90 @@
+"""Unit tests for the NeuraViz-style exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import Histogram
+from repro.viz.export import (
+    format_table,
+    heatmap_to_text,
+    histogram_to_rows,
+    save_csv,
+    save_json,
+    speedup_table_to_rows,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bbbb", "value": 20.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "20.000" in text
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestHistogramRows:
+    def test_rows_cover_all_bins(self):
+        hist = Histogram(bin_width=25, n_bins=4)
+        hist.add(10)
+        hist.add(60)
+        rows = histogram_to_rows(hist, label="mmh")
+        assert len(rows) == 4
+        assert rows[0]["mmh_percent"] == pytest.approx(50.0)
+        assert rows[-1]["bin"].endswith("+")
+
+
+class TestHeatmap:
+    def test_text_shading_dimensions(self):
+        heatmap = np.arange(12).reshape(3, 4)
+        text = heatmap_to_text(heatmap)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_empty_heatmap(self):
+        assert heatmap_to_text(np.zeros((0, 0))) == "(empty heatmap)"
+
+    def test_hot_cells_use_denser_glyphs(self):
+        heatmap = np.array([[0, 100]])
+        text = heatmap_to_text(heatmap)
+        assert text[0] == " " and text[-1] == "@"
+
+
+class TestSpeedupRows:
+    def test_flattening(self):
+        table = {"MKL": {"facebook": 20.0, "gmean": 22.0}}
+        rows = speedup_table_to_rows(table)
+        assert {"platform", "dataset", "speedup"} == set(rows[0])
+        assert len(rows) == 2
+
+
+class TestPersistence:
+    def test_save_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = save_csv(rows, tmp_path / "out" / "table.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+    def test_save_csv_empty(self, tmp_path):
+        path = save_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_save_json_handles_numpy_types(self, tmp_path):
+        payload = {"value": np.float64(1.5), "count": np.int64(3),
+                   "series": np.arange(3)}
+        path = save_json(payload, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == {"value": 1.5, "count": 3, "series": [0, 1, 2]}
