@@ -1,0 +1,113 @@
+"""Micro-benchmark: python vs numpy SpGEMM kernel throughput.
+
+Times every (dataflow, impl) pair on a synthetic power-law graph and writes
+the results — wall time, partial-product throughput, and the numpy speedup
+per dataflow — to ``benchmarks/results/bench_kernels.json`` so the
+performance trajectory of the kernel layer is tracked across PRs.
+
+The acceptance bar for the kernel layer is a >= 10x numpy speedup on a
+2000-node graph; the script asserts nothing, it just records, but the
+summary prints the per-dataflow speedups for quick inspection.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_kernels.py [--nodes 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.datasets import load_dataset
+from repro.sparse import kernels
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_kernels.json"
+
+
+def _time_kernel(a, flow: str, impl: str, max_repeats: int = 7,
+                 budget_seconds: float = 3.0) -> tuple[float, object]:
+    """Best-of-N wall time; stops repeating once the time budget is spent."""
+    best = float("inf")
+    spent = 0.0
+    result = None
+    for _ in range(max_repeats):
+        start = time.perf_counter()
+        result = kernels.spgemm(a, a, flow, impl)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        spent += elapsed
+        if spent >= budget_seconds:
+            break
+    return best, result
+
+
+def run(nodes: int, dataset: str = "wiki-Vote", seed: int = 0) -> dict:
+    """Benchmark every registered kernel on one synthetic graph."""
+    graph = load_dataset(dataset, max_nodes=nodes, seed=seed)
+    a = graph.adjacency_csr()
+    kernels.spgemm(a, a, "row_wise", "numpy")  # warm caches / allocators
+    record = {
+        "dataset": dataset,
+        "nodes": graph.n_nodes,
+        "edges": graph.n_edges,
+        "python_version": platform.python_version(),
+        "kernels": {},
+        "speedup": {},
+    }
+    for flow in kernels.DATAFLOWS:
+        timings = {}
+        for impl in kernels.IMPLS:
+            seconds, result = _time_kernel(a, flow, impl)
+            timings[impl] = {
+                "seconds": round(seconds, 6),
+                "partial_products": result.partial_products,
+                "partial_products_per_second": round(
+                    result.partial_products / seconds) if seconds > 0 else 0,
+            }
+        record["kernels"][flow] = timings
+        record["speedup"][flow] = round(
+            timings["python"]["seconds"] / timings["numpy"]["seconds"], 1)
+    speedups = list(record["speedup"].values())
+    product = 1.0
+    for value in speedups:
+        product *= value
+    record["speedup_geomean"] = round(product ** (1.0 / len(speedups)), 1)
+    total_python = sum(t["python"]["seconds"]
+                       for t in record["kernels"].values())
+    total_numpy = sum(t["numpy"]["seconds"]
+                      for t in record["kernels"].values())
+    record["speedup_overall"] = round(total_python / total_numpy, 1)
+    record["speedup_neurachip_dataflow"] = record["speedup"]["tiled_gustavson"]
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2000,
+                        help="synthetic graph size (default: 2000)")
+    parser.add_argument("--dataset", default="wiki-Vote")
+    parser.add_argument("--output", default=str(RESULTS_PATH))
+    args = parser.parse_args()
+
+    record = run(args.nodes, dataset=args.dataset)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"{record['dataset']}  nodes={record['nodes']}  "
+          f"edges={record['edges']}")
+    for flow, timings in record["kernels"].items():
+        print(f"{flow:16s}  python {timings['python']['seconds']:9.4f}s  "
+              f"numpy {timings['numpy']['seconds']:9.4f}s  "
+              f"speedup {record['speedup'][flow]:7.1f}x")
+    print(f"geomean {record['speedup_geomean']}x  "
+          f"overall {record['speedup_overall']}x  "
+          f"neurachip dataflow {record['speedup_neurachip_dataflow']}x")
+    print(f"[saved {output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

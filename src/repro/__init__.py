@@ -17,7 +17,16 @@ from repro.arch import (
     TILE64,
     get_config,
 )
-from repro.core import GCNRunResult, NeuraChip, SpGEMMRunResult, design_space_sweep
+from repro.backends import available_backends, get_backend, register_backend
+from repro.core import (
+    BatchReport,
+    GCNRunResult,
+    NeuraChip,
+    SpGEMMRunResult,
+    WorkloadJob,
+    WorkloadQueue,
+    design_space_sweep,
+)
 from repro.compiler import Program, compile_gcn_aggregation, compile_spgemm
 from repro.datasets import GraphDataset, available_datasets, load_dataset
 from repro.sim import (
@@ -36,6 +45,12 @@ __all__ = [
     "SpGEMMRunResult",
     "GCNRunResult",
     "design_space_sweep",
+    "WorkloadJob",
+    "WorkloadQueue",
+    "BatchReport",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "NeuraChipConfig",
     "TILE4",
     "TILE16",

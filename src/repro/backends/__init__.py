@@ -1,0 +1,44 @@
+"""Pluggable execution backends for the NeuraChip reproduction.
+
+Every entry point (the :class:`~repro.core.api.NeuraChip` facade, the CLI
+and the batch runner) executes compiled programs through a backend looked
+up by name in this package's registry:
+
+* ``functional`` — untimed hash-accumulate dataflow;
+* ``cycle``      — event-driven cycle-level NeuraSim model;
+* ``analytic``   — roofline cycle prediction + vectorized kernel output,
+  for graphs too large for event simulation.
+
+Third-party backends register with :func:`register_backend`.
+"""
+
+from repro.backends.base import (
+    ExecutionBackend,
+    ExecutionContext,
+    ExecutionResult,
+)
+from repro.backends.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+# Importing the implementation modules populates the registry.
+from repro.backends.executors import CycleBackend, FunctionalBackend
+from repro.backends.analytic import (
+    CALIBRATED_TOLERANCE,
+    AnalyticBackend,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionContext",
+    "ExecutionResult",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "FunctionalBackend",
+    "CycleBackend",
+    "AnalyticBackend",
+    "CALIBRATED_TOLERANCE",
+]

@@ -1,0 +1,41 @@
+"""Backend registry: name -> ExecutionBackend class.
+
+Backends register themselves with :func:`register_backend`; user-facing
+entry points resolve names through :func:`get_backend`, which reports the
+registered alternatives when a name is unknown.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ExecutionBackend
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator installing an :class:`ExecutionBackend` under ``name``."""
+
+    def decorator(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+        cls.name = name
+        _BACKENDS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises:
+        ValueError: when no backend has that name; the message lists every
+            registered backend.
+    """
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"registered backends: {available_backends()}")
+    return _BACKENDS[name]()

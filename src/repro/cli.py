@@ -1,12 +1,14 @@
 """Command-line interface: the Dashboard / NeuraViz replacement.
 
-Four subcommands cover the workflows the paper's WebGUI exposes::
+Six subcommands cover the workflows the paper's WebGUI exposes::
 
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
     python -m repro run --dataset cora --config Tile-16 --max-nodes 192
+    python -m repro run --dataset cora --backend analytic --impl numpy
     python -m repro gcn --dataset cora --feature-dim 16 --hidden-dim 8
     python -m repro sweep --dataset cora          # Tile-4/16/64 sweep (Fig. 11)
+    python -m repro batch --datasets cora cora wiki-Vote --backend analytic
 
 Every command prints aligned text tables and can optionally write CSV next to
 them with ``--output-dir``.
@@ -18,9 +20,12 @@ import argparse
 from pathlib import Path
 
 from repro.arch.config import all_spgemm_configs
+from repro.backends import available_backends
 from repro.core.api import NeuraChip, design_space_sweep
+from repro.core.runner import WorkloadQueue
 from repro.datasets.suite import GNN_SUITE, TABLE1_SUITE, load_dataset
 from repro.sparse.bloat import bloat_report
+from repro.sparse.kernels import IMPLS
 from repro.viz.export import format_table, save_csv
 
 
@@ -61,29 +66,43 @@ def cmd_bloat(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run one SpGEMM (A @ A) workload on the cycle simulator."""
+    """Run one SpGEMM (A @ A) workload through the selected backend."""
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
     chip = NeuraChip(args.config, eviction_mode=args.eviction,
                      mapping_scheme=args.mapping)
     result = chip.run_spgemm(dataset.adjacency_csr(), tile_size=args.tile_size,
-                             verify=not args.no_verify, source=dataset.name)
+                             verify=not args.no_verify, source=dataset.name,
+                             backend=args.backend, impl=args.impl)
     report = result.report
-    rows = [{
+    row = {
         "dataset": dataset.name,
         "config": chip.config.name,
-        "cycles": report.cycles,
-        "gops": round(report.gops, 3),
-        "mmh_cpi": round(report.mmh_cpi_mean, 1),
-        "hacc_cpi": round(report.hacc_cpi_mean, 1),
-        "stall_cycles": report.stall_cycles,
-        "traffic_kib": round(report.memory_traffic_bytes / 1024, 1),
-        "power_w": round(result.power_w, 2),
-        "verified": report.correct,
-        "sim_kcps": round(report.simulation_kcps, 1),
-    }]
+        "backend": result.backend,
+    }
+    if report is not None:
+        row.update({
+            "cycles": report.cycles,
+            "gops": round(report.gops, 3),
+            "mmh_cpi": round(report.mmh_cpi_mean, 1),
+            "hacc_cpi": round(report.hacc_cpi_mean, 1),
+            "stall_cycles": report.stall_cycles,
+            "traffic_kib": round(report.memory_traffic_bytes / 1024, 1),
+            "power_w": round(result.power_w, 2),
+            "verified": report.correct,
+            "sim_kcps": round(report.simulation_kcps, 1),
+        })
+    else:
+        row.update({
+            "mmh": result.program.n_instructions,
+            "partial_products": result.program.total_partial_products,
+            "output_nnz": result.output.nnz,
+            "bloat_pct": round(result.program.bloat_percent, 2),
+        })
+    rows = [row]
     print(format_table(rows))
     _maybe_save(rows, args.output_dir, f"run_{dataset.name}_{chip.config.name}")
-    return 0 if report.correct in (True, None) else 1
+    correct = report.correct if report is not None else None
+    return 0 if correct in (True, None) else 1
 
 
 def cmd_gcn(args: argparse.Namespace) -> int:
@@ -91,19 +110,23 @@ def cmd_gcn(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
     chip = NeuraChip(args.config)
     result = chip.run_gcn_layer(dataset, feature_dim=args.feature_dim,
-                                hidden_dim=args.hidden_dim)
+                                hidden_dim=args.hidden_dim,
+                                backend=args.backend, impl=args.impl)
+    aggregation = result.aggregation
     rows = [{
         "dataset": dataset.name,
         "config": chip.config.name,
-        "aggregation_cycles": result.aggregation.report.cycles,
+        "backend": aggregation.backend,
+        "aggregation_cycles": (aggregation.report.cycles
+                               if aggregation.report is not None else 0.0),
         "combination_cycles": round(result.combination_cycles, 1),
         "total_cycles": round(result.total_cycles, 1),
-        "aggregation_verified": result.aggregation.correct,
+        "aggregation_verified": aggregation.correct,
         "output_shape": str(result.output.shape),
     }]
     print(format_table(rows))
     _maybe_save(rows, args.output_dir, f"gcn_{dataset.name}_{chip.config.name}")
-    return 0 if result.aggregation.correct in (True, None) else 1
+    return 0 if aggregation.correct in (True, None) else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -111,11 +134,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
     sweep = design_space_sweep(dataset.adjacency_csr(),
                                configs=[c.name for c in all_spgemm_configs()],
-                               normalize_to=None if args.raw else "Tile-4")
+                               normalize_to=None if args.raw else "Tile-4",
+                               backend=args.backend)
     rows = [{"config": name, **{k: round(v, 3) for k, v in metrics.items()}}
             for name, metrics in sweep.items()]
     print(format_table(rows))
     _maybe_save(rows, args.output_dir, f"sweep_{dataset.name}")
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Run a queue of SpGEMM jobs over one chip with program caching."""
+    chip = NeuraChip(args.config)
+    queue = WorkloadQueue()
+    names = args.datasets or ["cora"]
+    adjacencies = {name: load_dataset(name, max_nodes=args.max_nodes,
+                                      seed=args.seed).adjacency_csr()
+                   for name in dict.fromkeys(names)}
+    for repeat in range(args.repeat):
+        for name in names:
+            label = name if args.repeat == 1 else f"{name}#{repeat}"
+            queue.add_spgemm(adjacencies[name], label=label)
+    report = chip.run_batch(queue, backend=args.backend, impl=args.impl)
+    rows = report.as_rows()
+    print(format_table(rows))
+    print(format_table([report.summary()]))
+    _maybe_save(rows, args.output_dir, f"batch_{chip.config.name}")
     return 0
 
 
@@ -136,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="node-count cap for the synthetic graph")
         sub.add_argument("--seed", type=int, default=0)
 
+    def add_backend(sub, default="cycle"):
+        sub.add_argument("--backend", choices=available_backends(),
+                         default=default,
+                         help="execution backend (default: %(default)s)")
+        sub.add_argument("--impl", choices=IMPLS, default="numpy",
+                         help="kernel implementation used by the analytic "
+                              "backend (default: %(default)s)")
+
     p_bloat = subparsers.add_parser("bloat", help="Table-1 memory-bloat analysis")
     p_bloat.add_argument("--datasets", nargs="*", default=None)
     add_common(p_bloat)
@@ -150,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mapping", choices=("ring", "modular", "random", "drhm"),
                        default=None)
     p_run.add_argument("--no-verify", action="store_true")
+    add_backend(p_run)
     add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -158,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gcn.add_argument("--config", default="Tile-16")
     p_gcn.add_argument("--feature-dim", type=int, default=16)
     p_gcn.add_argument("--hidden-dim", type=int, default=8)
+    add_backend(p_gcn)
     add_common(p_gcn)
     p_gcn.set_defaults(func=cmd_gcn)
 
@@ -165,8 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--dataset", default="cora")
     p_sweep.add_argument("--raw", action="store_true",
                          help="report raw values instead of Tile-4-normalised")
+    add_backend(p_sweep)
     add_common(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_batch = subparsers.add_parser(
+        "batch", help="run a queue of SpGEMM jobs with program caching")
+    p_batch.add_argument("--datasets", nargs="*", default=None,
+                         help="dataset names; repeats share the compile cache")
+    p_batch.add_argument("--config", default="Tile-16")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="enqueue the dataset list this many times")
+    add_backend(p_batch, default="analytic")
+    add_common(p_batch)
+    p_batch.set_defaults(func=cmd_batch)
     return parser
 
 

@@ -1,9 +1,11 @@
 """High-level NeuraChip API (the paper's primary contribution, packaged).
 
 ``repro.core`` is the entry point a downstream user works with: it hides the
-compiler / simulator plumbing behind a :class:`~repro.core.api.NeuraChip`
-facade that runs SpGEMM and GCN-layer workloads on any tile configuration,
-and exposes the design-space sweep used in Section 4.
+compiler / backend plumbing behind a :class:`~repro.core.api.NeuraChip`
+facade that runs SpGEMM and GCN-layer workloads on any tile configuration
+through any registered execution backend, batches many jobs over one chip
+via :class:`~repro.core.runner.WorkloadQueue`, and exposes the design-space
+sweep used in Section 4.
 """
 
 from repro.core.api import (
@@ -12,10 +14,22 @@ from repro.core.api import (
     SpGEMMRunResult,
     design_space_sweep,
 )
+from repro.core.runner import (
+    BatchReport,
+    JobOutcome,
+    ProgramCache,
+    WorkloadJob,
+    WorkloadQueue,
+)
 
 __all__ = [
     "NeuraChip",
     "SpGEMMRunResult",
     "GCNRunResult",
     "design_space_sweep",
+    "WorkloadJob",
+    "WorkloadQueue",
+    "BatchReport",
+    "JobOutcome",
+    "ProgramCache",
 ]

@@ -9,6 +9,13 @@ Typical use::
     dataset = load_dataset("facebook", max_nodes=256)
     result = chip.run_spgemm(dataset.adjacency_csr())
     print(result.report.cycles, result.report.gops)
+
+Every run is executed through a pluggable backend (see
+:mod:`repro.backends`): ``cycle`` for the event-driven timing model,
+``functional`` for the untimed dataflow, and ``analytic`` for roofline
+cycle prediction on graphs too large to event-simulate.  Batches of jobs
+run through :meth:`NeuraChip.run_batch`, which caches compiled programs
+across jobs with identical operands.
 """
 
 from __future__ import annotations
@@ -18,15 +25,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.arch.config import NeuraChipConfig, get_config
+from repro.backends import ExecutionContext, get_backend
 from repro.compiler import compile_gcn_aggregation, compile_spgemm
 from repro.compiler.program import Program
+from repro.core.runner import BatchReport, WorkloadJob, WorkloadQueue
 from repro.datasets.suite import GraphDataset
-from repro.gnn.gcn import GCNLayer, GCNWorkload
+from repro.gnn.gcn import GCNWorkload
 from repro.power.model import PowerModel
-from repro.sim.accelerator import NeuraChipAccelerator, SimulationReport
-from repro.sim.functional import FunctionalAccelerator, FunctionalReport
+from repro.sim.accelerator import SimulationReport
+from repro.sim.functional import FunctionalReport
 from repro.sim.params import SimulationParams
-from repro.sparse.convert import coo_to_csr, csr_to_csc, dense_to_coo
+from repro.sparse.convert import coo_to_csr, csc_to_csr, csr_to_csc, dense_to_coo
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -51,19 +60,23 @@ class SpGEMMRunResult:
 
     Attributes:
         program: the compiled program that was executed.
-        report: cycle-level simulation report (None in functional mode).
-        functional: functional-model report (always populated).
+        report: timing report — measured (cycle backend) or predicted
+            (analytic backend); None for the functional backend.
+        functional: functional-model report (None for the analytic backend,
+            which computes its output through the kernel layer instead).
         output: the product matrix C in CSR.
         power_w: modelled average power during the run.
         energy_j: modelled energy of the run.
+        backend: name of the execution backend that produced this result.
     """
 
     program: Program
     report: SimulationReport | None
-    functional: FunctionalReport
+    functional: FunctionalReport | None
     output: CSRMatrix
     power_w: float = 0.0
     energy_j: float = 0.0
+    backend: str = "cycle"
 
     @property
     def correct(self) -> bool | None:
@@ -73,7 +86,7 @@ class SpGEMMRunResult:
 
 @dataclass
 class GCNRunResult:
-    """Result of running one GCN layer (aggregation on chip, combination modelled).
+    """Result of one GCN layer (aggregation on chip, combination modelled).
 
     Attributes:
         aggregation: the SpGEMM run result of the aggregation phase.
@@ -118,9 +131,48 @@ class NeuraChip:
                               source=source)
 
     # ------------------------------------------------------------------
+    def _context(self, impl: str) -> ExecutionContext:
+        """Execution context describing this chip for a backend."""
+        return ExecutionContext(config=self.config, params=self.params,
+                                mapping_scheme=self.mapping_scheme,
+                                mapping_seed=self.mapping_seed,
+                                eviction_mode=self.eviction_mode,
+                                kernel_impl=impl)
+
+    def run_program(self, program: Program, a=None, b=None,
+                    backend: str = "cycle", impl: str = "numpy",
+                    verify: bool = True) -> SpGEMMRunResult:
+        """Execute an already-compiled program through a named backend.
+
+        Args:
+            program: compiled MMH stream (see :meth:`compile`).
+            a / b: the operands the program was compiled from (CSR/CSC/COO
+                or dense); fast backends use them to compute the numeric
+                output through the kernel layer.  ``b`` defaults to ``a``.
+            backend: registered backend name ('functional', 'cycle',
+                'analytic', or any backend added via ``register_backend``).
+            impl: kernel implementation for backends that use the kernel
+                layer ('python' or 'numpy').
+            verify: verify the accelerator output against the reference
+                (cycle backend only).
+        """
+        executor = get_backend(backend)
+        a_csr = _as_csr(a) if a is not None else None
+        b_csr = _as_csr(b) if b is not None else a_csr
+        execution = executor.execute(program, self._context(impl),
+                                     a_csr=a_csr, b_csr=b_csr, verify=verify)
+        power_w, energy_j = self._estimate_power(execution.report)
+        return SpGEMMRunResult(program=program, report=execution.report,
+                               functional=execution.functional,
+                               output=execution.output,
+                               power_w=power_w, energy_j=energy_j,
+                               backend=execution.backend)
+
+    # ------------------------------------------------------------------
     def run_spgemm(self, a_matrix, b_matrix=None, tile_size: int | None = None,
                    mode: str = "cycle", verify: bool = True,
-                   source: str = "spgemm") -> SpGEMMRunResult:
+                   source: str = "spgemm", backend: str | None = None,
+                   impl: str = "numpy") -> SpGEMMRunResult:
         """Execute C = A @ B on the accelerator.
 
         Args:
@@ -128,37 +180,32 @@ class NeuraChip:
             b_matrix: right operand; defaults to ``a_matrix`` (the A @ A
                 workload of Table 1 / Figure 16).
             tile_size: MMH tile size override.
-            mode: 'cycle' for the cycle-level simulator, 'functional' for the
-                untimed dataflow model.
+            mode: legacy backend selector ('cycle' or 'functional'); kept
+                for backward compatibility.
             verify: verify the accelerator output against the reference.
             source: workload label.
+            backend: backend name; overrides ``mode`` when given.  Unknown
+                names raise ValueError listing the registered backends.
+            impl: kernel implementation used by the analytic backend.
 
         Returns:
             A :class:`SpGEMMRunResult`.
         """
-        if mode not in ("cycle", "functional"):
-            raise ValueError("mode must be 'cycle' or 'functional'")
-        program = self.compile(a_matrix, b_matrix, tile_size=tile_size, source=source)
-        functional = FunctionalAccelerator(self.config, self.mapping_scheme,
-                                           self.mapping_seed).run(program)
-        report: SimulationReport | None = None
-        if mode == "cycle":
-            accelerator = NeuraChipAccelerator(self.config, self.params,
-                                               eviction_mode=self.eviction_mode,
-                                               mapping_scheme=self.mapping_scheme,
-                                               mapping_seed=self.mapping_seed)
-            report = accelerator.run(program, verify=verify)
-        output = coo_to_csr(dense_to_coo(functional.output))
-        power_w, energy_j = self._estimate_power(report)
-        return SpGEMMRunResult(program=program, report=report,
-                               functional=functional, output=output,
-                               power_w=power_w, energy_j=energy_j)
+        get_backend(backend or mode)  # fail fast before the compile pass
+        program = self.compile(a_matrix, b_matrix, tile_size=tile_size,
+                               source=source)
+        return self.run_program(program, a=a_matrix,
+                                b=b_matrix if b_matrix is not None else a_matrix,
+                                backend=backend or mode, impl=impl,
+                                verify=verify)
 
     # ------------------------------------------------------------------
     def run_gcn_layer(self, dataset: GraphDataset | COOMatrix,
                       feature_dim: int = 32, hidden_dim: int = 16,
                       feature_density: float = 0.3, mode: str = "cycle",
-                      verify: bool = True, seed: int = 7) -> GCNRunResult:
+                      verify: bool = True, seed: int = 7,
+                      backend: str | None = None,
+                      impl: str = "numpy") -> GCNRunResult:
         """Execute one GCN layer: aggregation on the accelerator, combination
         as a modelled dense phase (Section 2.2's combination stage).
         """
@@ -180,24 +227,21 @@ class NeuraChip:
         program = compile_gcn_aggregation(a_csc, workload.features,
                                           tile_size=self.config.mmh_tile_size,
                                           dataset=workload.dataset.name)
-        functional = FunctionalAccelerator(self.config, self.mapping_scheme,
-                                           self.mapping_seed).run(program)
-        report: SimulationReport | None = None
-        if mode == "cycle":
-            accelerator = NeuraChipAccelerator(self.config, self.params,
-                                               eviction_mode=self.eviction_mode,
-                                               mapping_scheme=self.mapping_scheme,
-                                               mapping_seed=self.mapping_seed)
-            report = accelerator.run(program, verify=verify)
-        aggregated = functional.output
+        executor = get_backend(backend or mode)
+        execution = executor.execute(program, self._context(impl),
+                                     a_csr=csc_to_csr(a_csc),
+                                     b_csr=workload.features,
+                                     verify=verify)
+        report = execution.report
+        aggregated = execution.to_dense()
         combined = workload.layer.combination(aggregated)
         combination_cycles = self._combination_cycles(workload)
         aggregation_cycles = report.cycles if report is not None else 0.0
         power_w, energy_j = self._estimate_power(report)
         aggregation_result = SpGEMMRunResult(
-            program=program, report=report, functional=functional,
-            output=coo_to_csr(dense_to_coo(aggregated)),
-            power_w=power_w, energy_j=energy_j)
+            program=program, report=report, functional=execution.functional,
+            output=execution.output,
+            power_w=power_w, energy_j=energy_j, backend=execution.backend)
         return GCNRunResult(aggregation=aggregation_result,
                             combination_cycles=combination_cycles,
                             total_cycles=aggregation_cycles + combination_cycles,
@@ -205,6 +249,33 @@ class NeuraChip:
                             workload=workload,
                             metadata={"feature_dim": feature_dim,
                                       "hidden_dim": hidden_dim})
+
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs, backend: str = "analytic", impl: str = "numpy",
+                  verify: bool = False) -> BatchReport:
+        """Execute many SpGEMM jobs over this chip with program caching.
+
+        Args:
+            jobs: a :class:`~repro.core.runner.WorkloadQueue`, or an
+                iterable of :class:`~repro.core.runner.WorkloadJob` /
+                bare matrices (each becomes an A @ A job).
+            backend: backend name every job runs through.
+            impl: kernel implementation for kernel-layer backends.
+            verify: verify each job's output (cycle backend only).
+
+        Returns:
+            A :class:`~repro.core.runner.BatchReport` with per-job rows and
+            aggregate totals.
+        """
+        if isinstance(jobs, WorkloadQueue):
+            queue = jobs
+        else:
+            queue = WorkloadQueue()
+            for index, job in enumerate(jobs):
+                if not isinstance(job, WorkloadJob):
+                    job = WorkloadJob.spgemm(_as_csr(job), label=f"job-{index}")
+                queue.add(job)
+        return queue.run(self, backend=backend, impl=impl, verify=verify)
 
     # ------------------------------------------------------------------
     def _combination_cycles(self, workload: GCNWorkload) -> float:
@@ -217,16 +288,21 @@ class NeuraChip:
         memory_cycles = traffic / max(self.config.peak_bandwidth_bytes_per_cycle, 1e-9)
         return max(compute_cycles, memory_cycles)
 
-    def _estimate_power(self, report: SimulationReport | None) -> tuple[float, float]:
-        """Average power and energy of a run, from the simulator's activity."""
-        if report is None:
-            return 0.0, 0.0
-        activity = {
+    @staticmethod
+    def _activity_from_report(report: SimulationReport) -> dict[str, float]:
+        """Per-component activity factors derived from a simulation report."""
+        return {
             "NeuraCore": min(1.0, report.core_utilization * 4.0),
             "NeuraMem": min(1.0, report.mem_utilization * 2.0),
             "Router": min(1.0, report.noc_flits / max(report.cycles, 1.0)),
             "Memory Controller": min(1.0, report.avg_inflight_mem / 16.0),
         }
+
+    def _estimate_power(self, report: SimulationReport | None) -> tuple[float, float]:
+        """Average power and energy of a run, from the simulator's activity."""
+        if report is None:
+            return 0.0, 0.0
+        activity = self._activity_from_report(report)
         power = self._power_model.power(self.config, activity).total_power_w
         seconds = report.cycles / (self.config.frequency_ghz * 1e9)
         return power, power * seconds
@@ -234,14 +310,7 @@ class NeuraChip:
     # ------------------------------------------------------------------
     def power_breakdown(self, report: SimulationReport | None = None):
         """Table 4 style area/power breakdown for this configuration."""
-        activity = None
-        if report is not None:
-            activity = {
-                "NeuraCore": min(1.0, report.core_utilization * 4.0),
-                "NeuraMem": min(1.0, report.mem_utilization * 2.0),
-                "Router": min(1.0, report.noc_flits / max(report.cycles, 1.0)),
-                "Memory Controller": min(1.0, report.avg_inflight_mem / 16.0),
-            }
+        activity = self._activity_from_report(report) if report is not None else None
         return self._power_model.combined(self.config, activity)
 
 
@@ -251,18 +320,39 @@ def design_space_sweep(a_matrix, b_matrix=None,
                        eviction_mode: str = "rolling",
                        normalize_to: str | None = "Tile-4",
                        params: SimulationParams | None = None,
+                       backend: str = "cycle",
+                       on_missing_base: str = "skip",
                        ) -> dict[str, dict[str, float]]:
     """Run the same workload across tile configurations (Figure 11).
 
     Returns, per configuration, the six Figure 11 metrics (stall cycles, CPI,
     IPC, in-flight memory instructions, power, busy cycles), optionally
     normalised to one of the configurations.
+
+    Args:
+        backend: execution backend for every configuration ('cycle' or
+            'analytic'; 'functional' produces no timing report).
+        on_missing_base: what to do when the normalisation baseline lacks a
+            metric or reports it as zero — ``"skip"`` omits that metric from
+            the normalised output, ``"raise"`` raises ValueError.  (The
+            previous behaviour silently mapped such metrics to 0.0, which
+            made a missing baseline indistinguishable from a real zero.)
     """
+    if on_missing_base not in ("skip", "raise"):
+        raise ValueError("on_missing_base must be 'skip' or 'raise'")
+    get_backend(backend)  # fail fast on unknown names before any run
+    if backend == "functional":
+        raise ValueError("backend 'functional' produces no timing report; "
+                         "use 'cycle' or 'analytic'")
     raw: dict[str, dict[str, float]] = {}
     for config in configs:
         chip = NeuraChip(config, eviction_mode=eviction_mode, params=params)
-        result = chip.run_spgemm(a_matrix, b_matrix, verify=False)
+        result = chip.run_spgemm(a_matrix, b_matrix, verify=False,
+                                 backend=backend)
         report = result.report
+        if report is None:
+            raise ValueError(f"backend {backend!r} produces no timing report; "
+                             "use 'cycle' or 'analytic'")
         raw[chip.config.name] = {
             "stall_cycles": report.stall_cycles,
             "cpi": report.cpi,
@@ -280,6 +370,13 @@ def design_space_sweep(a_matrix, b_matrix=None,
     base = raw[base_name]
     normalized: dict[str, dict[str, float]] = {}
     for name, metrics in raw.items():
-        normalized[name] = {key: (value / base[key] if base.get(key) else 0.0)
-                            for key, value in metrics.items()}
+        normalized[name] = {}
+        for key, value in metrics.items():
+            if not base.get(key):
+                if on_missing_base == "raise":
+                    raise ValueError(
+                        f"cannot normalise metric {key!r}: baseline "
+                        f"{base_name!r} reports {base.get(key)!r}")
+                continue
+            normalized[name][key] = value / base[key]
     return normalized

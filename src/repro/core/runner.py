@@ -1,0 +1,219 @@
+"""Batched workload execution: many SpGEMM / GCN jobs over one chip.
+
+Serving traffic means running *queues* of jobs, not single matrices.  The
+:class:`WorkloadQueue` collects :class:`WorkloadJob` descriptions, executes
+them through any registered backend, and returns a :class:`BatchReport`
+with per-job rows and aggregate totals.  Compilation — the symbolic pass
+plus MMH lowering, the expensive front half of every run — is cached by
+operand fingerprint, so repeated jobs on the same matrices (the common case
+for request traffic against a fixed graph) compile once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.compiler.program import Program
+from repro.sparse.csr import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.api import NeuraChip, SpGEMMRunResult
+
+#: Default bound on cached compiled programs (FIFO eviction).
+DEFAULT_CACHE_CAPACITY = 128
+
+
+def matrix_fingerprint(matrix: CSRMatrix) -> str:
+    """Stable content hash of a CSR matrix (structure + values)."""
+    digest = hashlib.sha1()
+    digest.update(str(matrix.shape).encode())
+    digest.update(matrix.indptr.tobytes())
+    digest.update(matrix.indices.tobytes())
+    digest.update(matrix.data.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class WorkloadJob:
+    """One unit of batched work.
+
+    Attributes:
+        a: left operand in CSR (adjacency matrix).
+        b: right operand in CSR; ``None`` means the A @ A workload.
+        label: human-readable name used in the batch report.
+        tile_size: MMH tile-size override for this job.
+        source: workload label recorded in the compiled program.
+    """
+
+    a: CSRMatrix
+    b: CSRMatrix | None = None
+    label: str = "job"
+    tile_size: int | None = None
+    source: str = "batch"
+
+    @classmethod
+    def spgemm(cls, a: CSRMatrix, b: CSRMatrix | None = None,
+               label: str = "spgemm", tile_size: int | None = None
+               ) -> "WorkloadJob":
+        """An SpGEMM job C = A @ B (B defaults to A)."""
+        return cls(a=a, b=b, label=label, tile_size=tile_size, source=label)
+
+
+@dataclass
+class JobOutcome:
+    """Result of one job within a batch."""
+
+    label: str
+    result: "SpGEMMRunResult"
+    cache_hit: bool
+
+    def as_row(self) -> dict:
+        """Flat row for table / CSV export."""
+        report = self.result.report
+        program = self.result.program
+        return {
+            "job": self.label,
+            "backend": self.result.backend,
+            "cycles": report.cycles if report is not None else 0.0,
+            "gops": round(report.gops, 3) if report is not None else 0.0,
+            "mmh": program.n_instructions,
+            "partial_products": program.total_partial_products,
+            "output_nnz": self.result.output.nnz,
+            "power_w": round(self.result.power_w, 2),
+            "compile_cached": self.cache_hit,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of a :meth:`WorkloadQueue.run` execution.
+
+    Attributes:
+        outcomes: per-job outcomes, in submission order.
+        backend: backend name the batch ran on.
+        cache_hits: jobs whose compiled program came from the cache.
+    """
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    backend: str = ""
+    cache_hits: int = 0
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_cycles(self) -> float:
+        """Summed cycles across jobs (sequential-execution estimate)."""
+        return sum(o.result.report.cycles for o in self.outcomes
+                   if o.result.report is not None)
+
+    @property
+    def total_partial_products(self) -> int:
+        return sum(o.result.program.total_partial_products
+                   for o in self.outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(o.result.energy_j for o in self.outcomes)
+
+    def as_rows(self) -> list[dict]:
+        """Per-job rows for table / CSV export."""
+        return [o.as_row() for o in self.outcomes]
+
+    def summary(self) -> dict:
+        """One aggregate row."""
+        return {
+            "jobs": self.n_jobs,
+            "backend": self.backend,
+            "total_cycles": self.total_cycles,
+            "total_partial_products": self.total_partial_products,
+            "total_energy_j": round(self.total_energy_j, 9),
+            "compile_cache_hits": self.cache_hits,
+        }
+
+
+class ProgramCache:
+    """Bounded FIFO cache of compiled programs keyed by operand content."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        self.capacity = max(0, capacity)
+        self._entries: OrderedDict[tuple, Program] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, a: CSRMatrix, b: CSRMatrix | None, tile_size: int) -> tuple:
+        # b=None means the A @ A workload, so it keys identically to b=a.
+        fingerprint_a = matrix_fingerprint(a)
+        fingerprint_b = matrix_fingerprint(b) if b is not None else fingerprint_a
+        return (fingerprint_a, fingerprint_b, tile_size)
+
+    def get(self, key: tuple) -> Program | None:
+        program = self._entries.get(key)
+        if program is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return program
+
+    def put(self, key: tuple, program: Program) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = program
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class WorkloadQueue:
+    """An ordered queue of jobs executed over one chip with program caching."""
+
+    def __init__(self, jobs: Iterable[WorkloadJob] | None = None,
+                 cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        self.jobs: list[WorkloadJob] = list(jobs or [])
+        self.cache = ProgramCache(cache_capacity)
+
+    def add(self, job: WorkloadJob) -> "WorkloadQueue":
+        """Append a job; returns self for chaining."""
+        self.jobs.append(job)
+        return self
+
+    def add_spgemm(self, a: CSRMatrix, b: CSRMatrix | None = None,
+                   label: str = "spgemm",
+                   tile_size: int | None = None) -> "WorkloadQueue":
+        """Append an SpGEMM job; returns self for chaining."""
+        return self.add(WorkloadJob.spgemm(a, b, label=label,
+                                           tile_size=tile_size))
+
+    # ------------------------------------------------------------------
+    def run(self, chip: "NeuraChip", backend: str = "analytic",
+            impl: str = "numpy", verify: bool = False) -> BatchReport:
+        """Execute every queued job on ``chip`` through ``backend``.
+
+        Compiled programs are reused across jobs with identical operands and
+        tile size, so a queue that replays the same graph many times (e.g.
+        repeated inference requests) pays the symbolic pass once.
+        """
+        report = BatchReport(backend=backend)
+        for job in self.jobs:
+            tile = job.tile_size or chip.config.mmh_tile_size
+            key = self.cache.key(job.a, job.b, tile)
+            program = self.cache.get(key)
+            cache_hit = program is not None
+            if program is None:
+                program = chip.compile(job.a, job.b, tile_size=tile,
+                                       source=job.source)
+                self.cache.put(key, program)
+            result = chip.run_program(program, a=job.a, b=job.b,
+                                      backend=backend, impl=impl,
+                                      verify=verify)
+            report.outcomes.append(JobOutcome(label=job.label, result=result,
+                                              cache_hit=cache_hit))
+            if cache_hit:
+                report.cache_hits += 1
+        return report

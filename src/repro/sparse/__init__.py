@@ -27,6 +27,13 @@ from repro.sparse.spgemm import (
     spgemm_row_wise,
     spgemm_tiled_gustavson,
 )
+from repro.sparse.kernels import (
+    available_impls,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.sparse.kernels import spgemm as spgemm_kernel
 from repro.sparse.symbolic import SymbolicProduct, symbolic_spgemm
 from repro.sparse.bloat import BloatReport, bloat_percent, bloat_report
 
@@ -46,6 +53,11 @@ __all__ = [
     "spgemm_outer_product",
     "spgemm_row_wise",
     "spgemm_tiled_gustavson",
+    "spgemm_kernel",
+    "get_kernel",
+    "register_kernel",
+    "available_kernels",
+    "available_impls",
     "SymbolicProduct",
     "symbolic_spgemm",
     "BloatReport",

@@ -1,0 +1,125 @@
+"""Batch runner: WorkloadQueue, program caching, and aggregate reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import NeuraChip
+from repro.core.runner import (
+    ProgramCache,
+    WorkloadJob,
+    WorkloadQueue,
+    matrix_fingerprint,
+)
+from repro.datasets import load_dataset
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return NeuraChip("Tile-4")
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: load_dataset(name, max_nodes=80, seed=5).adjacency_csr()
+            for name in ("wiki-Vote", "facebook")}
+
+
+class TestFingerprint:
+    def test_stable_and_content_sensitive(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((10, 10)) < 0.3) * rng.random((10, 10))
+        a = CSRMatrix.from_dense(dense)
+        assert matrix_fingerprint(a) == matrix_fingerprint(a.copy())
+        dense[0, 0] += 1.0
+        assert matrix_fingerprint(CSRMatrix.from_dense(dense)) \
+            != matrix_fingerprint(a)
+
+
+class TestProgramCache:
+    def test_fifo_eviction(self):
+        cache = ProgramCache(capacity=2)
+        for i in range(3):
+            cache.put(("key", i), f"program-{i}")
+        assert cache.get(("key", 0)) is None
+        assert cache.get(("key", 2)) == "program-2"
+
+    def test_zero_capacity_never_stores(self):
+        cache = ProgramCache(capacity=0)
+        cache.put(("k",), "p")
+        assert len(cache) == 0
+
+
+class TestRunBatch:
+    def test_repeated_jobs_hit_the_compile_cache(self, chip, graphs):
+        queue = WorkloadQueue()
+        for i in range(3):
+            queue.add_spgemm(graphs["wiki-Vote"], label=f"req-{i}")
+        report = chip.run_batch(queue, backend="analytic")
+        assert report.n_jobs == 3
+        assert report.cache_hits == 2
+        assert [o.cache_hit for o in report.outcomes] == [False, True, True]
+        # Cached programs are shared objects, not recompiles.
+        programs = {id(o.result.program) for o in report.outcomes}
+        assert len(programs) == 1
+
+    def test_distinct_operands_compile_separately(self, chip, graphs):
+        report = chip.run_batch(list(graphs.values()), backend="analytic")
+        assert report.cache_hits == 0
+        assert report.n_jobs == 2
+
+    def test_accepts_bare_matrices_and_jobs(self, chip, graphs):
+        a = graphs["facebook"]
+        jobs = [a, WorkloadJob.spgemm(a, label="explicit")]
+        report = chip.run_batch(jobs, backend="functional")
+        assert report.n_jobs == 2
+        assert report.cache_hits == 1
+        assert report.outcomes[1].label == "explicit"
+
+    def test_outputs_are_correct_per_job(self, chip, graphs):
+        queue = WorkloadQueue()
+        for name, a in graphs.items():
+            queue.add_spgemm(a, label=name)
+        report = chip.run_batch(queue, backend="analytic")
+        for outcome, (name, a) in zip(report.outcomes, graphs.items()):
+            dense = a.to_dense()
+            assert np.allclose(outcome.result.output.to_dense(),
+                               dense @ dense), name
+
+    def test_aggregates_and_rows(self, chip, graphs):
+        queue = WorkloadQueue()
+        queue.add_spgemm(graphs["wiki-Vote"], label="w0")
+        queue.add_spgemm(graphs["wiki-Vote"], label="w1")
+        report = chip.run_batch(queue, backend="analytic")
+        summary = report.summary()
+        assert summary["jobs"] == 2
+        assert summary["backend"] == "analytic"
+        assert summary["total_cycles"] == pytest.approx(
+            sum(o.result.report.cycles for o in report.outcomes))
+        assert report.total_partial_products == 2 * \
+            report.outcomes[0].result.program.total_partial_products
+        rows = report.as_rows()
+        assert rows[0]["job"] == "w0"
+        assert rows[1]["compile_cached"] is True
+
+    def test_functional_backend_reports_zero_cycles(self, chip, graphs):
+        report = chip.run_batch([graphs["facebook"]], backend="functional")
+        assert report.total_cycles == 0
+        assert report.outcomes[0].result.report is None
+
+    def test_tile_size_is_part_of_the_cache_key(self, chip, graphs):
+        queue = WorkloadQueue()
+        queue.add_spgemm(graphs["wiki-Vote"], label="t4", tile_size=4)
+        queue.add_spgemm(graphs["wiki-Vote"], label="t2", tile_size=2)
+        report = chip.run_batch(queue, backend="analytic")
+        assert report.cache_hits == 0
+        tiles = [o.result.program.tile_size for o in report.outcomes]
+        assert tiles == [4, 2]
+
+    def test_queue_survives_across_batches(self, chip, graphs):
+        queue = WorkloadQueue()
+        queue.add_spgemm(graphs["wiki-Vote"])
+        first = chip.run_batch(queue, backend="analytic")
+        second = chip.run_batch(queue, backend="analytic")
+        assert first.cache_hits == 0
+        assert second.cache_hits == 1  # cache persists on the queue

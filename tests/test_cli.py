@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--eviction", "never"])
 
+    def test_backend_and_impl_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend == "cycle"
+        assert args.impl == "numpy"
+        args = build_parser().parse_args(["batch"])
+        assert args.backend == "analytic"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "quantum"])
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--impl", "fortran"])
+
 
 class TestCommands:
     def test_datasets_lists_both_suites(self, capsys):
@@ -72,3 +87,43 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Tile-4" in out and "Tile-64" in out
+
+    def test_run_analytic_backend(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "96",
+                     "--config", "Tile-4", "--backend", "analytic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert "cycles" in out
+
+    def test_run_functional_backend(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "functional"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "functional" in out
+        assert "partial_products" in out
+
+    def test_gcn_analytic_backend(self, capsys):
+        code = main(["gcn", "--dataset", "cora", "--max-nodes", "64",
+                     "--config", "Tile-4", "--feature-dim", "8",
+                     "--hidden-dim", "4", "--backend", "analytic"])
+        assert code == 0
+        assert "aggregation_cycles" in capsys.readouterr().out
+
+    def test_batch_command_shares_compile_cache(self, capsys):
+        code = main(["batch", "--datasets", "wiki-Vote", "--repeat", "3",
+                     "--max-nodes", "64", "--config", "Tile-4",
+                     "--backend", "analytic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compile_cache_hits" in out
+        assert "wiki-Vote#2" in out
+
+    def test_batch_with_output_dir(self, tmp_path, capsys):
+        code = main(["--output-dir", str(tmp_path), "batch", "--datasets",
+                     "wiki-Vote", "--max-nodes", "64", "--config", "Tile-4"])
+        assert code == 0
+        saved = list(tmp_path.glob("batch_*.csv"))
+        assert len(saved) == 1
+        assert "partial_products" in saved[0].read_text()

@@ -127,3 +127,57 @@ class TestDesignSpaceSweep:
         assert {"stall_cycles", "cpi", "ipc", "in_flight_instx", "power",
                 "busy_cycles", "cycles", "gops"} <= set(metrics)
         assert metrics["cycles"] > 0
+
+    def test_sweep_on_analytic_backend(self, tiny_graph):
+        sweep = design_space_sweep(tiny_graph.adjacency_csr(),
+                                   configs=("Tile-4", "Tile-16"),
+                                   backend="analytic")
+        assert set(sweep) == {"Tile-4", "Tile-16"}
+        assert sweep["Tile-4"]["cycles"] == pytest.approx(1.0)
+
+    def test_sweep_functional_backend_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="no timing report"):
+            design_space_sweep(tiny_graph.adjacency_csr(),
+                               configs=("Tile-4",), backend="functional")
+
+    def test_sweep_skips_metrics_with_zero_baseline(self, tiny_graph,
+                                                    monkeypatch):
+        # Force a zero baseline metric and check it is omitted, not mapped
+        # to a silent 0.0 (the pre-refactor behaviour).
+        import repro.core.api as api
+
+        original = api.NeuraChip.run_spgemm
+
+        def zero_gops(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            result.report.gops = 0.0
+            return result
+
+        monkeypatch.setattr(api.NeuraChip, "run_spgemm", zero_gops)
+        sweep = design_space_sweep(tiny_graph.adjacency_csr(),
+                                   configs=("Tile-4", "Tile-16"))
+        assert "gops" not in sweep["Tile-16"]
+        assert "cycles" in sweep["Tile-16"]
+
+    def test_sweep_raises_on_zero_baseline_when_asked(self, tiny_graph,
+                                                      monkeypatch):
+        import repro.core.api as api
+
+        original = api.NeuraChip.run_spgemm
+
+        def zero_gops(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            result.report.gops = 0.0
+            return result
+
+        monkeypatch.setattr(api.NeuraChip, "run_spgemm", zero_gops)
+        with pytest.raises(ValueError, match="gops"):
+            design_space_sweep(tiny_graph.adjacency_csr(),
+                               configs=("Tile-4", "Tile-16"),
+                               on_missing_base="raise")
+
+    def test_sweep_invalid_policy_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="on_missing_base"):
+            design_space_sweep(tiny_graph.adjacency_csr(),
+                               configs=("Tile-4",),
+                               on_missing_base="ignore")

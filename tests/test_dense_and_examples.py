@@ -51,6 +51,7 @@ class TestDenseWorkloads:
 
 @pytest.mark.parametrize("example", [
     "quickstart.py",
+    "batched_backends.py",
     "gcn_inference.py",
     "design_space_exploration.py",
     "mapping_exploration.py",

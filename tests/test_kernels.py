@@ -1,0 +1,150 @@
+"""Kernel-layer equivalence: numpy impls must match the reference loops.
+
+The numpy kernels are only trustworthy if they reproduce the Python
+reference dataflows *exactly* — same output structure, same values, and
+bit-identical op counts (``partial_products``, ``accumulations``,
+``output_nnz``, ``mmh_instructions``) — across matrix shapes, densities,
+and degenerate structures (empty rows/columns, empty operands).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparse import kernels
+from repro.sparse.csr import CSRMatrix
+
+
+def _random_sparse(rng, shape, density):
+    dense = (rng.random(shape) < density) * rng.random(shape)
+    return CSRMatrix.from_dense(dense), dense
+
+
+def _assert_equivalent(reference, result):
+    __tracebackhide__ = True
+    assert result.partial_products == reference.partial_products
+    assert result.accumulations == reference.accumulations
+    assert result.output_nnz == reference.output_nnz
+    assert result.multiply_ops == reference.multiply_ops
+    assert result.intermediate_batches == reference.intermediate_batches
+    assert (result.extra.get("mmh_instructions")
+            == reference.extra.get("mmh_instructions"))
+    assert result.bloat_percent == pytest.approx(reference.bloat_percent)
+    assert np.array_equal(result.matrix.indptr, reference.matrix.indptr)
+    assert np.array_equal(result.matrix.indices, reference.matrix.indices)
+    assert np.allclose(result.matrix.data, reference.matrix.data,
+                       rtol=1e-12, atol=1e-12)
+
+
+class TestDispatch:
+    def test_all_eight_kernels_registered(self):
+        registered = set(kernels.available_kernels())
+        expected = {(flow, impl) for flow in kernels.DATAFLOWS
+                    for impl in kernels.IMPLS}
+        assert expected <= registered
+
+    def test_unknown_dataflow_lists_options(self):
+        with pytest.raises(ValueError, match="tiled_gustavson"):
+            kernels.get_kernel("diagonal", "numpy")
+
+    def test_unknown_impl_lists_options(self):
+        with pytest.raises(ValueError, match="numpy"):
+            kernels.get_kernel("inner", "fortran")
+
+    def test_available_impls_per_dataflow(self):
+        assert set(kernels.available_impls("row_wise")) == {"python", "numpy"}
+
+    def test_tiled_numpy_rejects_bad_tile(self):
+        a = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError):
+            kernels.spgemm(a, a, "tiled_gustavson", "numpy", tile_rows=0)
+
+
+class TestNumpyMatchesPython:
+    """Property-style sweep over random COO matrices."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_square_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 36))
+        density = float(rng.choice([0.02, 0.08, 0.25, 0.6]))
+        a, da = _random_sparse(rng, (n, n), density)
+        b, db = _random_sparse(rng, (n, n), density)
+        tile = int(rng.choice([1, 2, 4, 8]))
+        for flow in kernels.DATAFLOWS:
+            reference = kernels.spgemm(a, b, flow, "python", tile_rows=tile)
+            result = kernels.spgemm(a, b, flow, "numpy", tile_rows=tile)
+            _assert_equivalent(reference, result)
+            assert np.allclose(result.matrix.to_dense(), da @ db)
+
+    @pytest.mark.parametrize("shape_a,shape_b", [
+        ((3, 17), (17, 9)),
+        ((24, 5), (5, 24)),
+        ((1, 8), (8, 1)),
+    ])
+    def test_rectangular_matrices(self, shape_a, shape_b):
+        rng = np.random.default_rng(42)
+        a, da = _random_sparse(rng, shape_a, 0.3)
+        b, db = _random_sparse(rng, shape_b, 0.3)
+        for flow in kernels.DATAFLOWS:
+            reference = kernels.spgemm(a, b, flow, "python")
+            result = kernels.spgemm(a, b, flow, "numpy")
+            _assert_equivalent(reference, result)
+            assert np.allclose(result.matrix.to_dense(), da @ db)
+
+    def test_empty_rows_and_columns(self):
+        rng = np.random.default_rng(7)
+        dense_a = np.zeros((12, 12))
+        dense_b = np.zeros((12, 12))
+        # Only a few rows/cols populated; the rest stay structurally empty.
+        dense_a[[1, 5], :] = rng.random((2, 12)) * (rng.random((2, 12)) < 0.5)
+        dense_b[:, [0, 9]] = rng.random((12, 2)) * (rng.random((12, 2)) < 0.5)
+        a = CSRMatrix.from_dense(dense_a)
+        b = CSRMatrix.from_dense(dense_b)
+        for flow in kernels.DATAFLOWS:
+            reference = kernels.spgemm(a, b, flow, "python")
+            result = kernels.spgemm(a, b, flow, "numpy")
+            _assert_equivalent(reference, result)
+
+    def test_empty_operands(self):
+        a = CSRMatrix.empty((6, 4))
+        b = CSRMatrix.empty((4, 5))
+        for flow in kernels.DATAFLOWS:
+            result = kernels.spgemm(a, b, flow, "numpy")
+            assert result.partial_products == 0
+            assert result.output_nnz == 0
+            assert result.matrix.shape == (6, 5)
+
+    def test_dimension_mismatch_raises(self):
+        a = CSRMatrix.from_dense(np.eye(3))
+        b = CSRMatrix.from_dense(np.eye(4))
+        for impl in kernels.IMPLS:
+            with pytest.raises(ValueError):
+                kernels.spgemm(a, b, "row_wise", impl)
+
+    def test_sort_merge_path_matches_dense_path(self):
+        # A shape large enough (25M flattened coordinates vs few hundred
+        # partial products) to route through the sort-based merge instead
+        # of the dense-bin merge.
+        rng = np.random.default_rng(11)
+        n = 5000
+        rows = rng.integers(0, n, size=60)
+        cols = rng.integers(0, n, size=60)
+        dense = np.zeros((n, n))
+        dense[rows, cols] = rng.random(60)
+        a = CSRMatrix.from_dense(dense)
+        for flow in ("row_wise", "tiled_gustavson"):
+            reference = kernels.spgemm(a, a, flow, "python")
+            result = kernels.spgemm(a, a, flow, "numpy")
+            _assert_equivalent(reference, result)
+
+    def test_mmh_count_varies_with_tile_rows(self):
+        rng = np.random.default_rng(3)
+        a, _ = _random_sparse(rng, (20, 20), 0.4)
+        counts = [kernels.spgemm(a, a, "tiled_gustavson", "numpy",
+                                 tile_rows=t).extra["mmh_instructions"]
+                  for t in (1, 2, 4)]
+        ref = [kernels.spgemm(a, a, "tiled_gustavson", "python",
+                              tile_rows=t).extra["mmh_instructions"]
+               for t in (1, 2, 4)]
+        assert counts == ref
+        assert counts[0] > counts[1] > counts[2]
