@@ -10,7 +10,7 @@ Reproduces the Section 4 exploration of the paper on a small workload:
 Run with:  python examples/design_space_exploration.py
 """
 
-from repro import NeuraChip, design_space_sweep, load_dataset
+from repro import NeuraChip, Session, SweepSpec, load_dataset
 from repro.compiler import compile_spgemm
 from repro.sim.accelerator import NeuraChipAccelerator
 from repro.viz.export import format_table
@@ -18,8 +18,10 @@ from repro.viz.export import format_table
 
 def tile_size_sweep(dataset) -> None:
     print("\n--- Figure 11: tile configuration sweep (normalised to Tile-4) ---")
-    sweep = design_space_sweep(dataset.adjacency_csr(),
-                               configs=("Tile-4", "Tile-16", "Tile-64"))
+    with Session("Tile-4") as session:
+        sweep = session.run(SweepSpec(
+            a=dataset.adjacency_csr(),
+            configs=("Tile-4", "Tile-16", "Tile-64"))).legacy
     rows = [{"config": name, **{metric: round(value, 3)
                                 for metric, value in metrics.items()}}
             for name, metrics in sweep.items()]

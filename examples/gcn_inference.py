@@ -1,9 +1,11 @@
 """GCN inference on NeuraChip: a two-layer graph convolutional network.
 
 Runs both layers of a GCN (Equation 2 of the paper) on a synthetic Cora
-stand-in.  Each layer's aggregation phase (A_hat @ X) executes on the
-simulated accelerator; the combination phase (dense GEMM with W plus ReLU) is
-modelled analytically, mirroring how the paper splits the two stages.  The
+stand-in through one session.  Each layer's aggregation phase (A_hat @ X)
+executes on the simulated accelerator as an :class:`SpGEMMSpec`; the
+combination phase (dense GEMM with W plus ReLU) runs in numpy, mirroring
+how the paper splits the two stages.  Because both layers share the same
+session, the second forward pass would hit the program cache.  The
 accelerator output is checked against a pure-numpy reference network.
 
 Run with:  python examples/gcn_inference.py
@@ -11,15 +13,16 @@ Run with:  python examples/gcn_inference.py
 
 import numpy as np
 
-from repro import NeuraChip, load_dataset
+from repro import Session, SpGEMMSpec, load_dataset
 from repro.datasets.features import gcn_weight_matrix
 from repro.gnn.gcn import gcn_forward_reference, normalize_adjacency, relu
 from repro.sparse.convert import coo_to_csr, dense_to_coo
 
 
-def run_layer(chip: NeuraChip, a_hat_csr, features_csr, weight, apply_relu):
+def run_layer(session: Session, a_hat_csr, features_csr, weight, apply_relu):
     """Aggregation on the accelerator, combination in numpy."""
-    result = chip.run_spgemm(a_hat_csr, features_csr, source="gcn-layer")
+    result = session.run(SpGEMMSpec(a=a_hat_csr, b=features_csr,
+                                    source="gcn-layer", label="gcn-layer"))
     aggregated = result.output.to_dense()
     combined = aggregated @ weight
     if apply_relu:
@@ -36,20 +39,20 @@ def main() -> None:
                gcn_weight_matrix(hidden_dim, n_classes, seed=2)]
 
     a_hat = normalize_adjacency(dataset.adjacency)
-    chip = NeuraChip("Tile-16")
 
     print(f"GCN on {dataset.name}: {dataset.n_nodes} nodes, "
           f"{feature_dim} -> {hidden_dim} -> {n_classes}")
 
     x = features
     total_cycles = 0.0
-    for layer_index, weight in enumerate(weights):
-        features_csr = coo_to_csr(dense_to_coo(x))
-        x, report = run_layer(chip, a_hat, features_csr, weight,
-                              apply_relu=layer_index < len(weights) - 1)
-        total_cycles += report.cycles
-        print(f"  layer {layer_index}: cycles={report.cycles:,.0f}  "
-              f"GOP/s={report.gops:.2f}  aggregation verified={report.correct}")
+    with Session("Tile-16") as session:
+        for layer_index, weight in enumerate(weights):
+            features_csr = coo_to_csr(dense_to_coo(x))
+            x, report = run_layer(session, a_hat, features_csr, weight,
+                                  apply_relu=layer_index < len(weights) - 1)
+            total_cycles += report.cycles
+            print(f"  layer {layer_index}: cycles={report.cycles:,.0f}  "
+                  f"GOP/s={report.gops:.2f}  aggregation verified={report.correct}")
 
     reference = gcn_forward_reference(dataset.adjacency, features, weights)
     max_err = float(np.max(np.abs(x - reference)))

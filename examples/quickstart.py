@@ -1,13 +1,14 @@
 """Quickstart: run one SpGEMM workload on a simulated NeuraChip.
 
-Loads a synthetic stand-in for the `wiki-Vote` SNAP graph, compiles the
-A @ A SpGEMM workload onto the Tile-16 configuration, runs the cycle-level
-NeuraSim model, and prints the headline performance counters.
+Opens a :class:`~repro.core.session.Session` on the Tile-16 configuration,
+loads a synthetic stand-in for the `wiki-Vote` SNAP graph, submits the
+A @ A SpGEMM workload as a declarative :class:`SpGEMMSpec`, and prints the
+headline performance counters from the unified :class:`RunResult` envelope.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import NeuraChip, load_dataset
+from repro import Session, SpGEMMSpec, load_dataset
 from repro.viz.export import format_table, histogram_to_rows
 
 
@@ -17,9 +18,12 @@ def main() -> None:
     print(f"dataset: {dataset.name}  nodes={dataset.n_nodes}  "
           f"edges={dataset.n_edges}  sparsity={dataset.adjacency.sparsity:.4f}")
 
-    # 2. Build an accelerator and run C = A @ A on it.
-    chip = NeuraChip("Tile-16")          # Tile-4 / Tile-16 / Tile-64
-    result = chip.run_spgemm(dataset.adjacency_csr(), source=dataset.name)
+    # 2. Open a session and run C = A @ A on it.  The session owns backend
+    #    resolution, the executor, and the program cache.
+    with Session("Tile-16") as session:     # Tile-4 / Tile-16 / Tile-64
+        result = session.run(SpGEMMSpec(a=dataset.adjacency_csr(),
+                                        source=dataset.name,
+                                        label=dataset.name))
 
     # 3. Inspect the simulation report.
     report = result.report
@@ -35,11 +39,16 @@ def main() -> None:
     print(f"average power     : {result.power_w:.2f} W "
           f"(energy {result.energy_j * 1e6:.2f} uJ)")
 
-    # 4. The MMH CPI distribution (the data behind the paper's Figure 14).
+    # 4. Provenance: where the result came from and what it cost to make.
+    prov = result.provenance
+    print(f"provenance        : backend={prov.backend} executor={prov.executor} "
+          f"cache_hit={prov.cache_hit} wall={prov.wall_time_s:.2f}s")
+
+    # 5. The MMH CPI distribution (the data behind the paper's Figure 14).
     print("\nMMH CPI histogram:")
     print(format_table(histogram_to_rows(report.mmh_cpi_histogram, label="mmh")))
 
-    # 5. The product itself is available as a CSR matrix.
+    # 6. The product itself is available as a CSR matrix.
     print(f"\noutput matrix: shape={result.output.shape}, nnz={result.output.nnz}")
 
 

@@ -9,7 +9,7 @@ baseline together with the energy/area efficiency rows of Table 5.
 Run with:  python examples/spgemm_baseline_comparison.py
 """
 
-from repro import NeuraChip, load_dataset
+from repro import Session, SpGEMMSpec, load_dataset
 from repro.arch.config import TILE16
 from repro.baselines.accelerators import speedup_table
 from repro.baselines.workload import SpGEMMWorkloadStats
@@ -45,15 +45,16 @@ def main() -> None:
     print(format_table(rows))
 
     print("\n=== cycle-simulated NeuraChip on the same workloads ===")
-    chip = NeuraChip("Tile-16")
-    sim_rows = []
-    for dataset in datasets:
-        result = chip.run_spgemm(dataset.adjacency_csr(), verify=False,
-                                 source=dataset.name)
-        sim_rows.append({"dataset": dataset.name,
-                         "cycles": result.report.cycles,
-                         "sim_gops": round(result.report.gops, 2),
-                         "power_w": round(result.power_w, 2)})
+    with Session("Tile-16") as session:
+        results = session.map([SpGEMMSpec(a=dataset.adjacency_csr(),
+                                          verify=False, source=dataset.name,
+                                          label=dataset.name)
+                               for dataset in datasets])
+    sim_rows = [{"dataset": result.label,
+                 "cycles": result.metrics["cycles"],
+                 "sim_gops": round(result.report.gops, 2),
+                 "power_w": round(result.power_w, 2)}
+                for result in results]
     print(format_table(sim_rows))
 
     print("\n=== Table 5 efficiency rows for NeuraChip Tile-16 ===")

@@ -20,12 +20,22 @@ from repro.arch import (
 from repro.backends import available_backends, get_backend, register_backend
 from repro.core import (
     BatchReport,
+    BatchSpec,
+    GCNLayerSpec,
     GCNRunResult,
     NeuraChip,
+    Provenance,
+    RunResult,
+    Session,
     SpGEMMRunResult,
+    SpGEMMSpec,
+    SweepSpec,
     WorkloadJob,
     WorkloadQueue,
+    available_executors,
     design_space_sweep,
+    get_executor,
+    register_executor,
 )
 from repro.compiler import Program, compile_gcn_aggregation, compile_spgemm
 from repro.datasets import GraphDataset, available_datasets, load_dataset
@@ -41,6 +51,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "SpGEMMSpec",
+    "GCNLayerSpec",
+    "SweepSpec",
+    "BatchSpec",
+    "RunResult",
+    "Provenance",
+    "register_executor",
+    "get_executor",
+    "available_executors",
     "NeuraChip",
     "SpGEMMRunResult",
     "GCNRunResult",

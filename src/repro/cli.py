@@ -5,24 +5,33 @@ Six subcommands cover the workflows the paper's WebGUI exposes::
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
     python -m repro run --dataset cora --config Tile-16 --max-nodes 192
-    python -m repro run --dataset cora --backend analytic --impl numpy
+    python -m repro run --dataset cora --backend analytic --shards 4
     python -m repro gcn --dataset cora --feature-dim 16 --hidden-dim 8
     python -m repro sweep --dataset cora          # Tile-4/16/64 sweep (Fig. 11)
-    python -m repro batch --datasets cora cora wiki-Vote --backend analytic
+    python -m repro batch --datasets cora cora wiki-Vote --backend analytic \
+        --executor process --workers 4 --cache-dir ~/.cache/neurachip-repro
 
-Every command prints aligned text tables and can optionally write CSV next to
-them with ``--output-dir``.
+Every workload subcommand routes through one
+:class:`~repro.core.session.Session`, so they all share the same knobs:
+``--backend`` / ``--impl`` select the execution backend, ``--executor`` /
+``--workers`` fan jobs out on the host, and ``--cache-dir`` persists
+compiled programs to disk — a second invocation against the same graph
+reports ``cache_hit=True`` and skips compilation.  Every command prints
+aligned text tables and can optionally write CSV next to them with
+``--output-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
 from repro.arch.config import all_spgemm_configs
 from repro.backends import available_backends
-from repro.core.api import NeuraChip, design_space_sweep
-from repro.core.runner import WorkloadQueue
+from repro.core.executors import available_executors
+from repro.core.session import Session
+from repro.core.specs import BatchSpec, GCNLayerSpec, SpGEMMSpec, SweepSpec
 from repro.datasets.suite import GNN_SUITE, TABLE1_SUITE, load_dataset
 from repro.sparse.bloat import bloat_report
 from repro.sparse.kernels import IMPLS
@@ -33,6 +42,18 @@ def _maybe_save(rows: list[dict], output_dir: str | None, name: str) -> None:
     if output_dir:
         path = save_csv(rows, Path(output_dir) / f"{name}.csv")
         print(f"[saved {path}]")
+
+
+def _session(args: argparse.Namespace, default_backend: str = "cycle") -> Session:
+    """One Session configured from the shared workload flags."""
+    return Session(args.config,
+                   backend=getattr(args, "backend", default_backend),
+                   impl=getattr(args, "impl", "numpy"),
+                   executor=getattr(args, "executor", "serial"),
+                   workers=getattr(args, "workers", None),
+                   cache_dir=getattr(args, "cache_dir", None),
+                   eviction_mode=getattr(args, "eviction", "rolling"),
+                   mapping_scheme=getattr(args, "mapping", None))
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:
@@ -66,18 +87,18 @@ def cmd_bloat(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run one SpGEMM (A @ A) workload through the selected backend."""
+    """Run one SpGEMM (A @ A) workload through the session."""
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
-    chip = NeuraChip(args.config, eviction_mode=args.eviction,
-                     mapping_scheme=args.mapping)
-    result = chip.run_spgemm(dataset.adjacency_csr(), tile_size=args.tile_size,
-                             verify=not args.no_verify, source=dataset.name,
-                             backend=args.backend, impl=args.impl)
+    with _session(args) as session:
+        result = session.run(SpGEMMSpec(
+            a=dataset.adjacency_csr(), tile_size=args.tile_size,
+            verify=not args.no_verify, source=dataset.name,
+            label=dataset.name, shards=args.shards))
     report = result.report
     row = {
         "dataset": dataset.name,
-        "config": chip.config.name,
-        "backend": result.backend,
+        "config": result.provenance.config,
+        "backend": result.provenance.backend,
     }
     if report is not None:
         row.update({
@@ -91,6 +112,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             "verified": report.correct,
             "sim_kcps": round(report.simulation_kcps, 1),
         })
+    elif args.shards > 1:
+        row.update({key: result.metrics[key] for key in
+                    ("cycles", "gops", "mmh", "partial_products",
+                     "output_nnz")})
+        row["shards"] = result.provenance.shards
     else:
         row.update({
             "mmh": result.program.n_instructions,
@@ -98,68 +124,79 @@ def cmd_run(args: argparse.Namespace) -> int:
             "output_nnz": result.output.nnz,
             "bloat_pct": round(result.program.bloat_percent, 2),
         })
+    row["cache_hit"] = result.provenance.cache_hit
+    row["wall_time_s"] = round(result.provenance.wall_time_s, 4)
     rows = [row]
     print(format_table(rows))
-    _maybe_save(rows, args.output_dir, f"run_{dataset.name}_{chip.config.name}")
-    correct = report.correct if report is not None else None
-    return 0 if correct in (True, None) else 1
+    _maybe_save(rows, args.output_dir,
+                f"run_{dataset.name}_{result.provenance.config}")
+    verified = result.metrics.get("verified")
+    return 0 if verified in (True, None) else 1
 
 
 def cmd_gcn(args: argparse.Namespace) -> int:
     """Run one GCN layer (aggregation on the accelerator)."""
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
-    chip = NeuraChip(args.config)
-    result = chip.run_gcn_layer(dataset, feature_dim=args.feature_dim,
-                                hidden_dim=args.hidden_dim,
-                                backend=args.backend, impl=args.impl)
-    aggregation = result.aggregation
+    with _session(args) as session:
+        result = session.run(GCNLayerSpec(
+            dataset=dataset, feature_dim=args.feature_dim,
+            hidden_dim=args.hidden_dim, label=dataset.name))
+    legacy = result.legacy
+    aggregation = legacy.aggregation
     rows = [{
         "dataset": dataset.name,
-        "config": chip.config.name,
+        "config": result.provenance.config,
         "backend": aggregation.backend,
         "aggregation_cycles": (aggregation.report.cycles
                                if aggregation.report is not None else 0.0),
-        "combination_cycles": round(result.combination_cycles, 1),
-        "total_cycles": round(result.total_cycles, 1),
+        "combination_cycles": round(legacy.combination_cycles, 1),
+        "total_cycles": round(legacy.total_cycles, 1),
         "aggregation_verified": aggregation.correct,
-        "output_shape": str(result.output.shape),
+        "output_shape": str(legacy.output.shape),
+        "cache_hit": result.provenance.cache_hit,
+        "wall_time_s": round(result.provenance.wall_time_s, 4),
     }]
     print(format_table(rows))
-    _maybe_save(rows, args.output_dir, f"gcn_{dataset.name}_{chip.config.name}")
+    _maybe_save(rows, args.output_dir,
+                f"gcn_{dataset.name}_{result.provenance.config}")
     return 0 if aggregation.correct in (True, None) else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Tile-size design-space sweep (the Figure 11 series)."""
     dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
-    sweep = design_space_sweep(dataset.adjacency_csr(),
-                               configs=[c.name for c in all_spgemm_configs()],
-                               normalize_to=None if args.raw else "Tile-4",
-                               backend=args.backend)
+    with _session(args) as session:
+        result = session.run(SweepSpec(
+            a=dataset.adjacency_csr(),
+            configs=[c.name for c in all_spgemm_configs()],
+            normalize_to=None if args.raw else "Tile-4",
+            label=dataset.name))
     rows = [{"config": name, **{k: round(v, 3) for k, v in metrics.items()}}
-            for name, metrics in sweep.items()]
+            for name, metrics in result.legacy.items()]
     print(format_table(rows))
     _maybe_save(rows, args.output_dir, f"sweep_{dataset.name}")
     return 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    """Run a queue of SpGEMM jobs over one chip with program caching."""
-    chip = NeuraChip(args.config)
-    queue = WorkloadQueue()
+    """Run a queue of SpGEMM jobs through the session with program caching."""
     names = args.datasets or ["cora"]
     adjacencies = {name: load_dataset(name, max_nodes=args.max_nodes,
                                       seed=args.seed).adjacency_csr()
                    for name in dict.fromkeys(names)}
+    specs = []
     for repeat in range(args.repeat):
         for name in names:
             label = name if args.repeat == 1 else f"{name}#{repeat}"
-            queue.add_spgemm(adjacencies[name], label=label)
-    report = chip.run_batch(queue, backend=args.backend, impl=args.impl)
+            specs.append(SpGEMMSpec(a=adjacencies[name], label=label,
+                                    source=name, verify=False))
+    with _session(args, default_backend="analytic") as session:
+        result = session.run(BatchSpec(specs=specs))
+    report = result.legacy
     rows = report.as_rows()
     print(format_table(rows))
     print(format_table([report.summary()]))
-    _maybe_save(rows, args.output_dir, f"batch_{chip.config.name}")
+    _maybe_save(rows, args.output_dir, f"batch_{result.provenance.config}")
     return 0
 
 
@@ -180,13 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="node-count cap for the synthetic graph")
         sub.add_argument("--seed", type=int, default=0)
 
-    def add_backend(sub, default="cycle"):
+    def add_session(sub, default="cycle"):
         sub.add_argument("--backend", choices=available_backends(),
                          default=default,
                          help="execution backend (default: %(default)s)")
         sub.add_argument("--impl", choices=IMPLS, default="numpy",
                          help="kernel implementation used by the analytic "
                               "backend (default: %(default)s)")
+        sub.add_argument("--executor", choices=available_executors(),
+                         default="serial",
+                         help="host-side executor jobs fan out on "
+                              "(default: %(default)s)")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="worker count for the thread/process executors")
+        sub.add_argument("--cache-dir", default=None,
+                         help="persist compiled programs to this directory; "
+                              "warm caches skip compilation entirely")
 
     p_bloat = subparsers.add_parser("bloat", help="Table-1 memory-bloat analysis")
     p_bloat.add_argument("--datasets", nargs="*", default=None)
@@ -202,7 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mapping", choices=("ring", "modular", "random", "drhm"),
                        default=None)
     p_run.add_argument("--no-verify", action="store_true")
-    add_backend(p_run)
+    p_run.add_argument("--shards", type=int, default=1,
+                       help="split the SpGEMM into this many row-group "
+                            "shards fanned out over the executor")
+    add_session(p_run)
     add_common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -211,15 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_gcn.add_argument("--config", default="Tile-16")
     p_gcn.add_argument("--feature-dim", type=int, default=16)
     p_gcn.add_argument("--hidden-dim", type=int, default=8)
-    add_backend(p_gcn)
+    add_session(p_gcn)
     add_common(p_gcn)
     p_gcn.set_defaults(func=cmd_gcn)
 
     p_sweep = subparsers.add_parser("sweep", help="tile-size design-space sweep")
     p_sweep.add_argument("--dataset", default="cora")
+    p_sweep.add_argument("--config", default="Tile-16",
+                         help=argparse.SUPPRESS)  # sweep spans all configs
     p_sweep.add_argument("--raw", action="store_true",
                          help="report raw values instead of Tile-4-normalised")
-    add_backend(p_sweep)
+    add_session(p_sweep)
     add_common(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -230,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--config", default="Tile-16")
     p_batch.add_argument("--repeat", type=int, default=1,
                          help="enqueue the dataset list this many times")
-    add_backend(p_batch, default="analytic")
+    add_session(p_batch, default="analytic")
     add_common(p_batch)
     p_batch.set_defaults(func=cmd_batch)
     return parser
@@ -240,7 +291,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as error:
+        # Session construction fails fast on bad names / cache dirs, and
+        # config/dataset lookups raise KeyError on unknown names; turn both
+        # into a clean CLI error instead of a traceback.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -169,6 +169,40 @@ class MMHMacroOp:
         return encode_mmh(self.instruction)
 
 
+@dataclass(frozen=True)
+class ProgramDigest:
+    """Count-level summary of a compiled program.
+
+    Carries every aggregate a report row needs (instruction counts, partial
+    products, bloat) at a fraction of a :class:`Program`'s pickled size, so
+    results shipped back from executor worker processes don't pay to
+    serialise the full macro-op stream.
+    """
+
+    n_instructions: int
+    total_partial_products: int
+    output_nnz: int
+    shape: tuple[int, int]
+    tile_size: int
+    a_nnz: int
+    b_nnz: int
+    source: str = ""
+
+    @property
+    def bloat_percent(self) -> float:
+        """Equation 1 bloat for this program's workload."""
+        if self.output_nnz == 0:
+            return 0.0
+        return (self.total_partial_products - self.output_nnz) / self.output_nnz * 100.0
+
+    @property
+    def useful_flops(self) -> int:
+        return 2 * self.total_partial_products
+
+    def digest(self) -> "ProgramDigest":
+        return self
+
+
 @dataclass
 class Program:
     """A compiled NeuraChip program.
@@ -218,6 +252,18 @@ class Program:
     def useful_flops(self) -> int:
         """Useful floating-point operations (multiply + add per partial product)."""
         return 2 * self.total_partial_products
+
+    def digest(self) -> ProgramDigest:
+        """Count-level summary suitable for cross-process result transfer."""
+        return ProgramDigest(
+            n_instructions=self.n_instructions,
+            total_partial_products=self.total_partial_products,
+            output_nnz=self.output_nnz,
+            shape=self.shape,
+            tile_size=self.tile_size,
+            a_nnz=self.a_nnz,
+            b_nnz=self.b_nnz,
+            source=self.source)
 
     def expand_haccs(self, mmh: MMHMacroOp) -> list[HACCMacroOp]:
         """Expand one MMH of this program into its HACC macro-ops."""

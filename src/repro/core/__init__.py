@@ -1,11 +1,14 @@
 """High-level NeuraChip API (the paper's primary contribution, packaged).
 
-``repro.core`` is the entry point a downstream user works with: it hides the
-compiler / backend plumbing behind a :class:`~repro.core.api.NeuraChip`
-facade that runs SpGEMM and GCN-layer workloads on any tile configuration
-through any registered execution backend, batches many jobs over one chip
-via :class:`~repro.core.runner.WorkloadQueue`, and exposes the design-space
-sweep used in Section 4.
+``repro.core`` is the entry point a downstream user works with.  The
+supported surface is the session API: declarative workload specs
+(:class:`SpGEMMSpec`, :class:`GCNLayerSpec`, :class:`SweepSpec`,
+:class:`BatchSpec`) submitted to a :class:`Session` — which owns backend
+resolution, a pluggable executor layer (serial / thread / process), and a
+persistent LRU program cache — and returning unified :class:`RunResult`
+envelopes.  :class:`NeuraChip` remains the chip primitive (configuration,
+compile, run_program, power); the legacy one-shot helpers on it forward to
+sessions and emit :class:`DeprecationWarning`.
 """
 
 from repro.core.api import (
@@ -14,15 +17,46 @@ from repro.core.api import (
     SpGEMMRunResult,
     design_space_sweep,
 )
+from repro.core.executors import (
+    Executor,
+    available_executors,
+    get_executor,
+    register_executor,
+)
 from repro.core.runner import (
     BatchReport,
     JobOutcome,
     ProgramCache,
     WorkloadJob,
     WorkloadQueue,
+    default_cache_dir,
+    matrix_fingerprint,
+)
+from repro.core.session import Session, plan_row_shards
+from repro.core.specs import (
+    BatchSpec,
+    GCNLayerSpec,
+    Provenance,
+    RunResult,
+    SpGEMMSpec,
+    SweepSpec,
+    WorkloadSpec,
 )
 
 __all__ = [
+    "Session",
+    "WorkloadSpec",
+    "SpGEMMSpec",
+    "GCNLayerSpec",
+    "SweepSpec",
+    "BatchSpec",
+    "RunResult",
+    "Provenance",
+    "plan_row_shards",
+    "Executor",
+    "register_executor",
+    "get_executor",
+    "available_executors",
     "NeuraChip",
     "SpGEMMRunResult",
     "GCNRunResult",
@@ -32,4 +66,6 @@ __all__ = [
     "BatchReport",
     "JobOutcome",
     "ProgramCache",
+    "matrix_fingerprint",
+    "default_cache_dir",
 ]

@@ -1,32 +1,33 @@
-"""NeuraChip facade: run SpGEMM / GCN workloads on a configured accelerator.
+"""NeuraChip facade: chip primitives plus deprecated single-call wrappers.
 
-Typical use::
+The supported entry point is the :class:`~repro.core.session.Session` API::
 
-    from repro.core import NeuraChip
+    from repro.core import Session, SpGEMMSpec
     from repro.datasets import load_dataset
 
-    chip = NeuraChip("Tile-16")
     dataset = load_dataset("facebook", max_nodes=256)
-    result = chip.run_spgemm(dataset.adjacency_csr())
-    print(result.report.cycles, result.report.gops)
+    with Session("Tile-16") as session:
+        result = session.run(SpGEMMSpec(a=dataset.adjacency_csr()))
+    print(result.metrics["cycles"], result.provenance.wall_time_s)
 
-Every run is executed through a pluggable backend (see
-:mod:`repro.backends`): ``cycle`` for the event-driven timing model,
-``functional`` for the untimed dataflow, and ``analytic`` for roofline
-cycle prediction on graphs too large to event-simulate.  Batches of jobs
-run through :meth:`NeuraChip.run_batch`, which caches compiled programs
-across jobs with identical operands.
+:class:`NeuraChip` remains the *chip* object — configuration, compilation,
+single-program execution, and the power model — and sessions build on those
+primitives.  The legacy one-shot helpers (:meth:`NeuraChip.run_spgemm`,
+:meth:`NeuraChip.run_gcn_layer`, :meth:`NeuraChip.run_batch`,
+:func:`design_space_sweep`) are kept as thin deprecation shims that forward
+to a session and return exactly what they always returned.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.arch.config import NeuraChipConfig, get_config
 from repro.backends import ExecutionContext, get_backend
-from repro.compiler import compile_gcn_aggregation, compile_spgemm
+from repro.compiler import compile_spgemm
 from repro.compiler.program import Program
 from repro.core.runner import BatchReport, WorkloadJob, WorkloadQueue
 from repro.datasets.suite import GraphDataset
@@ -35,7 +36,7 @@ from repro.power.model import PowerModel
 from repro.sim.accelerator import SimulationReport
 from repro.sim.functional import FunctionalReport
 from repro.sim.params import SimulationParams
-from repro.sparse.convert import coo_to_csr, csc_to_csr, csr_to_csc, dense_to_coo
+from repro.sparse.convert import coo_to_csr, csr_to_csc, dense_to_coo
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -52,6 +53,11 @@ def _as_csr(matrix) -> CSRMatrix:
     if isinstance(matrix, np.ndarray):
         return coo_to_csr(dense_to_coo(matrix))
     raise TypeError(f"unsupported matrix type {type(matrix)!r}")
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -105,7 +111,9 @@ class GCNRunResult:
 
 
 class NeuraChip:
-    """User-facing accelerator object bound to one configuration."""
+    """The chip object: one configuration plus compile / execute / power
+    primitives.  Workload orchestration lives in
+    :class:`~repro.core.session.Session`."""
 
     def __init__(self, config: str | NeuraChipConfig = "Tile-16",
                  mapping_scheme: str | None = None,
@@ -118,6 +126,14 @@ class NeuraChip:
         self.params = params or SimulationParams()
         self.mapping_seed = mapping_seed
         self._power_model = PowerModel()
+
+    # ------------------------------------------------------------------
+    def session(self, **kwargs) -> "Session":
+        """A :class:`~repro.core.session.Session` bound to this chip;
+        keyword arguments are forwarded to the Session constructor."""
+        from repro.core.session import Session
+
+        return Session(self, **kwargs)
 
     # ------------------------------------------------------------------
     def compile(self, a_matrix, b_matrix=None,
@@ -169,11 +185,15 @@ class NeuraChip:
                                backend=execution.backend)
 
     # ------------------------------------------------------------------
+    # Deprecated single-call wrappers (thin shims over Session)
+    # ------------------------------------------------------------------
     def run_spgemm(self, a_matrix, b_matrix=None, tile_size: int | None = None,
                    mode: str = "cycle", verify: bool = True,
                    source: str = "spgemm", backend: str | None = None,
                    impl: str = "numpy") -> SpGEMMRunResult:
         """Execute C = A @ B on the accelerator.
+
+        .. deprecated:: use ``Session.run(SpGEMMSpec(...))``.
 
         Args:
             a_matrix: left operand (CSR/CSC/COO or dense numpy array).
@@ -191,13 +211,14 @@ class NeuraChip:
         Returns:
             A :class:`SpGEMMRunResult`.
         """
-        get_backend(backend or mode)  # fail fast before the compile pass
-        program = self.compile(a_matrix, b_matrix, tile_size=tile_size,
-                               source=source)
-        return self.run_program(program, a=a_matrix,
-                                b=b_matrix if b_matrix is not None else a_matrix,
-                                backend=backend or mode, impl=impl,
-                                verify=verify)
+        from repro.core.session import Session
+        from repro.core.specs import SpGEMMSpec
+
+        _deprecated("NeuraChip.run_spgemm", "Session.run(SpGEMMSpec(...))")
+        with Session(self, backend=backend or mode, impl=impl) as session:
+            return session.run(SpGEMMSpec(a=a_matrix, b=b_matrix,
+                                          tile_size=tile_size, verify=verify,
+                                          source=source)).legacy
 
     # ------------------------------------------------------------------
     def run_gcn_layer(self, dataset: GraphDataset | COOMatrix,
@@ -208,52 +229,27 @@ class NeuraChip:
                       impl: str = "numpy") -> GCNRunResult:
         """Execute one GCN layer: aggregation on the accelerator, combination
         as a modelled dense phase (Section 2.2's combination stage).
+
+        .. deprecated:: use ``Session.run(GCNLayerSpec(...))``.
         """
-        if isinstance(dataset, GraphDataset):
-            workload = GCNWorkload.build(dataset, feature_dim=feature_dim,
-                                         hidden_dim=hidden_dim,
-                                         feature_density=feature_density, seed=seed)
-        else:
-            from repro.datasets.suite import DatasetSpec
+        from repro.core.session import Session
+        from repro.core.specs import GCNLayerSpec
 
-            spec = DatasetSpec("custom", "custom", dataset.shape[0],
-                               dataset.nnz, 0.0, None, feature_dim=feature_dim)
-            workload = GCNWorkload.build(GraphDataset(spec, dataset, 1.0),
-                                         feature_dim=feature_dim,
-                                         hidden_dim=hidden_dim,
-                                         feature_density=feature_density, seed=seed)
-
-        a_csc = workload.adjacency_csc
-        program = compile_gcn_aggregation(a_csc, workload.features,
-                                          tile_size=self.config.mmh_tile_size,
-                                          dataset=workload.dataset.name)
-        executor = get_backend(backend or mode)
-        execution = executor.execute(program, self._context(impl),
-                                     a_csr=csc_to_csr(a_csc),
-                                     b_csr=workload.features,
-                                     verify=verify)
-        report = execution.report
-        aggregated = execution.to_dense()
-        combined = workload.layer.combination(aggregated)
-        combination_cycles = self._combination_cycles(workload)
-        aggregation_cycles = report.cycles if report is not None else 0.0
-        power_w, energy_j = self._estimate_power(report)
-        aggregation_result = SpGEMMRunResult(
-            program=program, report=report, functional=execution.functional,
-            output=execution.output,
-            power_w=power_w, energy_j=energy_j, backend=execution.backend)
-        return GCNRunResult(aggregation=aggregation_result,
-                            combination_cycles=combination_cycles,
-                            total_cycles=aggregation_cycles + combination_cycles,
-                            output=combined,
-                            workload=workload,
-                            metadata={"feature_dim": feature_dim,
-                                      "hidden_dim": hidden_dim})
+        _deprecated("NeuraChip.run_gcn_layer",
+                    "Session.run(GCNLayerSpec(...))")
+        with Session(self, backend=backend or mode, impl=impl) as session:
+            return session.run(GCNLayerSpec(
+                dataset=dataset, feature_dim=feature_dim,
+                hidden_dim=hidden_dim, feature_density=feature_density,
+                verify=verify, seed=seed)).legacy
 
     # ------------------------------------------------------------------
     def run_batch(self, jobs, backend: str = "analytic", impl: str = "numpy",
                   verify: bool = False) -> BatchReport:
         """Execute many SpGEMM jobs over this chip with program caching.
+
+        .. deprecated:: use ``Session.run(BatchSpec(...))`` or
+           ``Session.map([...])``.
 
         Args:
             jobs: a :class:`~repro.core.runner.WorkloadQueue`, or an
@@ -267,6 +263,7 @@ class NeuraChip:
             A :class:`~repro.core.runner.BatchReport` with per-job rows and
             aggregate totals.
         """
+        _deprecated("NeuraChip.run_batch", "Session.run(BatchSpec(...))")
         if isinstance(jobs, WorkloadQueue):
             queue = jobs
         else:
@@ -325,6 +322,8 @@ def design_space_sweep(a_matrix, b_matrix=None,
                        ) -> dict[str, dict[str, float]]:
     """Run the same workload across tile configurations (Figure 11).
 
+    .. deprecated:: use ``Session.run(SweepSpec(...))``.
+
     Returns, per configuration, the six Figure 11 metrics (stall cycles, CPI,
     IPC, in-flight memory instructions, power, busy cycles), optionally
     normalised to one of the configurations.
@@ -334,49 +333,15 @@ def design_space_sweep(a_matrix, b_matrix=None,
             'analytic'; 'functional' produces no timing report).
         on_missing_base: what to do when the normalisation baseline lacks a
             metric or reports it as zero — ``"skip"`` omits that metric from
-            the normalised output, ``"raise"`` raises ValueError.  (The
-            previous behaviour silently mapped such metrics to 0.0, which
-            made a missing baseline indistinguishable from a real zero.)
+            the normalised output, ``"raise"`` raises ValueError.
     """
-    if on_missing_base not in ("skip", "raise"):
-        raise ValueError("on_missing_base must be 'skip' or 'raise'")
-    get_backend(backend)  # fail fast on unknown names before any run
-    if backend == "functional":
-        raise ValueError("backend 'functional' produces no timing report; "
-                         "use 'cycle' or 'analytic'")
-    raw: dict[str, dict[str, float]] = {}
-    for config in configs:
-        chip = NeuraChip(config, eviction_mode=eviction_mode, params=params)
-        result = chip.run_spgemm(a_matrix, b_matrix, verify=False,
-                                 backend=backend)
-        report = result.report
-        if report is None:
-            raise ValueError(f"backend {backend!r} produces no timing report; "
-                             "use 'cycle' or 'analytic'")
-        raw[chip.config.name] = {
-            "stall_cycles": report.stall_cycles,
-            "cpi": report.cpi,
-            "ipc": report.ipc,
-            "in_flight_instx": report.avg_inflight_mem,
-            "power": result.power_w,
-            "busy_cycles": report.busy_cycles,
-            "cycles": report.cycles,
-            "gops": report.gops,
-        }
-    if normalize_to is None:
-        return raw
-    base_name = get_config(normalize_to).name if isinstance(normalize_to, str) \
-        else normalize_to.name
-    base = raw[base_name]
-    normalized: dict[str, dict[str, float]] = {}
-    for name, metrics in raw.items():
-        normalized[name] = {}
-        for key, value in metrics.items():
-            if not base.get(key):
-                if on_missing_base == "raise":
-                    raise ValueError(
-                        f"cannot normalise metric {key!r}: baseline "
-                        f"{base_name!r} reports {base.get(key)!r}")
-                continue
-            normalized[name][key] = value / base[key]
-    return normalized
+    from repro.core.session import Session
+    from repro.core.specs import SweepSpec
+
+    _deprecated("design_space_sweep", "Session.run(SweepSpec(...))")
+    spec = SweepSpec(a=a_matrix, b=b_matrix, configs=list(configs),
+                     normalize_to=normalize_to, eviction_mode=eviction_mode,
+                     on_missing_base=on_missing_base)
+    with Session(configs[0] if configs else "Tile-16", backend=backend,
+                 params=params) as session:
+        return session.run(spec).legacy

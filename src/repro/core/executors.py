@@ -1,0 +1,158 @@
+"""Pluggable executor layer: how a session fans work out on the host.
+
+Executors are registered by name exactly like execution backends
+(:mod:`repro.backends.registry`): :func:`register_executor` installs a
+class, :func:`get_executor` resolves a name (listing the alternatives on a
+miss), and :func:`available_executors` reports what is installed.  Three
+executors ship built in:
+
+========= ============================================== ==================
+name      what runs                                      use when
+========= ============================================== ==================
+serial    in the calling thread, in submission order     default; debugging
+thread    a ``ThreadPoolExecutor``                       I/O-bound or
+                                                         numpy-heavy jobs
+process   a ``ProcessPoolExecutor``                      CPU-bound compile +
+                                                         simulate jobs
+========= ============================================== ==================
+
+The process executor requires the mapped function and every item to be
+picklable; :class:`~repro.core.session.Session` ships a module-level worker
+with a snapshot of its constructor state for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable
+
+_EXECUTORS: dict[str, type["Executor"]] = {}
+
+
+def register_executor(name: str):
+    """Class decorator installing an :class:`Executor` under ``name``."""
+
+    def decorator(cls: type["Executor"]) -> type["Executor"]:
+        cls.name = name
+        _EXECUTORS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_executors() -> list[str]:
+    """Registered executor names, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def get_executor(name: str, workers: int | None = None) -> "Executor":
+    """Instantiate the executor registered under ``name``.
+
+    Raises:
+        ValueError: when no executor has that name; the message lists every
+            registered executor.
+    """
+    if name not in _EXECUTORS:
+        raise ValueError(f"unknown executor {name!r}; "
+                         f"registered executors: {available_executors()}")
+    return _EXECUTORS[name](workers=workers)
+
+
+def default_workers() -> int:
+    """Default worker count for the pooled executors."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class Executor(ABC):
+    """One strategy for running many independent job callables."""
+
+    #: Registry name; set by the @register_executor decorator.
+    name: str = ""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or default_workers()
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Apply ``fn`` to every item; results come back in submission
+        order.  Exceptions propagate to the caller."""
+
+    @abstractmethod
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        """Schedule one call and return a ``concurrent.futures.Future``."""
+
+    def shutdown(self) -> None:
+        """Release pooled resources; the executor may not be reused."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+@register_executor("serial")
+class SerialExecutor(Executor):
+    """Run every job inline in the calling thread (the legacy behaviour)."""
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        return [fn(item) for item in items]
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(item))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+class _PooledExecutor(Executor):
+    """Shared plumbing for the thread / process pool executors."""
+
+    _pool_cls: type = ThreadPoolExecutor
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_cls(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        return self._ensure_pool().submit(fn, item)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+@register_executor("thread")
+class ThreadExecutor(_PooledExecutor):
+    """Fan jobs out over a thread pool (shares the in-process cache)."""
+
+    _pool_cls = ThreadPoolExecutor
+
+
+@register_executor("process")
+class ProcessExecutor(_PooledExecutor):
+    """Fan jobs out over worker processes (true CPU parallelism).
+
+    The mapped function and every item must be picklable; in-memory caches
+    are per-worker, but a session's *disk* program cache is shared through
+    the filesystem.
+    """
+
+    _pool_cls = ProcessPoolExecutor

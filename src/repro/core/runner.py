@@ -5,15 +5,23 @@ Serving traffic means running *queues* of jobs, not single matrices.  The
 them through any registered backend, and returns a :class:`BatchReport`
 with per-job rows and aggregate totals.  Compilation — the symbolic pass
 plus MMH lowering, the expensive front half of every run — is cached by
-operand fingerprint, so repeated jobs on the same matrices (the common case
-for request traffic against a fixed graph) compile once.
+operand fingerprint in a :class:`ProgramCache`: an LRU bound in memory that
+can also spill fingerprinted programs to disk, so repeated CLI / batch
+invocations against the same graphs skip compilation entirely.
+
+Queues now execute through a :class:`~repro.core.session.Session`; the
+``run`` method here is a thin forwarding layer kept for compatibility.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.compiler.program import Program
@@ -22,18 +30,40 @@ from repro.sparse.csr import CSRMatrix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.api import NeuraChip, SpGEMMRunResult
 
-#: Default bound on cached compiled programs (FIFO eviction).
+#: Default bound on cached compiled programs (LRU eviction).
 DEFAULT_CACHE_CAPACITY = 128
 
+#: On-disk cache schema version.  Part of every fingerprint and cache key:
+#: bump it whenever the fingerprint inputs, the Program layout, or the
+#: pickle payload change shape, so stale entries from an older release can
+#: never silently collide with (or be served as) current ones.
+CACHE_SCHEMA_VERSION = 2
 
-def matrix_fingerprint(matrix: CSRMatrix) -> str:
-    """Stable content hash of a CSR matrix (structure + values)."""
+
+def matrix_fingerprint(matrix) -> str:
+    """Stable content hash of a sparse matrix (structure + values + dtype).
+
+    Accepts any CSR/CSC-shaped object exposing ``indptr`` / ``indices`` /
+    ``data`` / ``shape``.  The digest covers the array dtypes and the cache
+    schema version in addition to the raw bytes, so two matrices whose
+    buffers happen to share a byte representation under different dtypes —
+    or fingerprints minted by an older release — can never collide.
+    """
     digest = hashlib.sha1()
+    digest.update(f"schema={CACHE_SCHEMA_VERSION}".encode())
     digest.update(str(matrix.shape).encode())
-    digest.update(matrix.indptr.tobytes())
-    digest.update(matrix.indices.tobytes())
-    digest.update(matrix.data.tobytes())
+    for array in (matrix.indptr, matrix.indices, matrix.data):
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
     return digest.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Default location for the persistent program cache
+    (``$XDG_CACHE_HOME`` or ``~/.cache``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "neurachip-repro" / f"programs-v{CACHE_SCHEMA_VERSION}"
 
 
 @dataclass
@@ -69,12 +99,14 @@ class JobOutcome:
     label: str
     result: "SpGEMMRunResult"
     cache_hit: bool
+    wall_time_s: float = 0.0
 
     def as_row(self) -> dict:
-        """Flat row for table / CSV export."""
+        """Flat row for table / CSV export; ``None``-valued fields dropped
+        so multi-row CSV exports stay rectangular."""
         report = self.result.report
         program = self.result.program
-        return {
+        row = {
             "job": self.label,
             "backend": self.result.backend,
             "cycles": report.cycles if report is not None else 0.0,
@@ -83,23 +115,30 @@ class JobOutcome:
             "partial_products": program.total_partial_products,
             "output_nnz": self.result.output.nnz,
             "power_w": round(self.result.power_w, 2),
-            "compile_cached": self.cache_hit,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "compile_cached": self.cache_hit,  # legacy column name
         }
+        return {key: value for key, value in row.items() if value is not None}
 
 
 @dataclass
 class BatchReport:
-    """Aggregate outcome of a :meth:`WorkloadQueue.run` execution.
+    """Aggregate outcome of a batch execution.
 
     Attributes:
         outcomes: per-job outcomes, in submission order.
         backend: backend name the batch ran on.
+        executor: executor name the batch fanned out on.
         cache_hits: jobs whose compiled program came from the cache.
+        wall_time_s: host wall-clock seconds for the whole batch.
     """
 
     outcomes: list[JobOutcome] = field(default_factory=list)
     backend: str = ""
+    executor: str = "serial"
     cache_hits: int = 0
+    wall_time_s: float = 0.0
 
     @property
     def n_jobs(self) -> int:
@@ -125,46 +164,137 @@ class BatchReport:
         return [o.as_row() for o in self.outcomes]
 
     def summary(self) -> dict:
-        """One aggregate row."""
-        return {
+        """One aggregate row; ``None``-valued fields dropped."""
+        row = {
             "jobs": self.n_jobs,
             "backend": self.backend,
+            "executor": self.executor,
             "total_cycles": self.total_cycles,
             "total_partial_products": self.total_partial_products,
             "total_energy_j": round(self.total_energy_j, 9),
-            "compile_cache_hits": self.cache_hits,
+            "cache_hits": self.cache_hits,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "compile_cache_hits": self.cache_hits,  # legacy column name
         }
+        return {key: value for key, value in row.items() if value is not None}
 
 
 class ProgramCache:
-    """Bounded FIFO cache of compiled programs keyed by operand content."""
+    """Bounded LRU cache of compiled programs keyed by operand content.
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+    Entries are touched on :meth:`get`, so hot programs survive pressure
+    that would have evicted them under the old FIFO policy.  When
+    ``cache_dir`` is given, every stored program is also pickled to disk
+    under its key digest; later processes (or later CLI invocations) that
+    miss in memory transparently load from disk, skipping compilation.
+    The cache is thread-safe, so a thread executor can share it.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY,
+                 cache_dir: str | Path | None = None) -> None:
         self.capacity = max(0, capacity)
         self._entries: OrderedDict[tuple, Program] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.cache_dir: Path | None = None
+        if cache_dir is not None:
+            path = Path(cache_dir).expanduser()
+            if path.exists() and not path.is_dir():
+                raise ValueError(f"cache dir {str(path)!r} exists and is not "
+                                 "a directory")
+            path.mkdir(parents=True, exist_ok=True)
+            self.cache_dir = path
 
-    def key(self, a: CSRMatrix, b: CSRMatrix | None, tile_size: int) -> tuple:
-        # b=None means the A @ A workload, so it keys identically to b=a.
+    # ------------------------------------------------------------------
+    def key(self, a, b, tile_size: int, kind: str = "spgemm") -> tuple:
+        """Cache key for operands ``(a, b)`` at ``tile_size``.
+
+        ``b=None`` means the A @ A workload, so it keys identically to
+        ``b=a``.  ``kind`` separates program families (spgemm vs gcn
+        aggregation) that would otherwise share operand fingerprints.
+        """
         fingerprint_a = matrix_fingerprint(a)
         fingerprint_b = matrix_fingerprint(b) if b is not None else fingerprint_a
-        return (fingerprint_a, fingerprint_b, tile_size)
+        return (CACHE_SCHEMA_VERSION, kind, fingerprint_a, fingerprint_b,
+                tile_size)
 
+    def _disk_path(self, key: tuple) -> Path:
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()
+        return self.cache_dir / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
     def get(self, key: tuple) -> Program | None:
-        program = self._entries.get(key)
-        if program is not None:
-            self.hits += 1
-        else:
-            self.misses += 1
+        with self._lock:
+            program = self._entries.get(key)
+            if program is not None:
+                self._entries.move_to_end(key)  # LRU touch
+                self.hits += 1
+                return program
+        program = self._load_from_disk(key)
+        with self._lock:
+            if program is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._store(key, program)
+            else:
+                self.misses += 1
         return program
 
     def put(self, key: tuple, program: Program) -> None:
+        with self._lock:
+            self._store(key, program)
+        self._spill_to_disk(key, program)
+
+    def _store(self, key: tuple, program: Program) -> None:
         if self.capacity <= 0:
             return
         self._entries[key] = program
+        self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def _load_from_disk(self, key: tuple) -> Program | None:
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                schema, stored_key, program = pickle.load(handle)
+            if schema != CACHE_SCHEMA_VERSION or stored_key != key:
+                raise ValueError("stale or colliding cache entry")
+            return program
+        except Exception:  # corrupt/stale entries are misses, not errors
+            path.unlink(missing_ok=True)
+            return None
+
+    def _spill_to_disk(self, key: tuple, program: Program) -> None:
+        if self.cache_dir is None or self.capacity <= 0:
+            return
+        path = self._disk_path(key)
+        # Unique temp name per writer so concurrent spills of the same
+        # entry (thread pool, or processes sharing one cache dir) never
+        # interleave partial writes; last replace wins atomically.
+        tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump((CACHE_SCHEMA_VERSION, key, program), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic publish for concurrent writers
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit / miss counters and sizing, as one flat dict."""
+        return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits, "entries": len(self._entries),
+                "capacity": self.capacity,
+                "cache_dir": str(self.cache_dir) if self.cache_dir else None}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -174,9 +304,10 @@ class WorkloadQueue:
     """An ordered queue of jobs executed over one chip with program caching."""
 
     def __init__(self, jobs: Iterable[WorkloadJob] | None = None,
-                 cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+                 cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+                 cache_dir: str | Path | None = None) -> None:
         self.jobs: list[WorkloadJob] = list(jobs or [])
-        self.cache = ProgramCache(cache_capacity)
+        self.cache = ProgramCache(cache_capacity, cache_dir=cache_dir)
 
     def add(self, job: WorkloadJob) -> "WorkloadQueue":
         """Append a job; returns self for chaining."""
@@ -192,28 +323,28 @@ class WorkloadQueue:
 
     # ------------------------------------------------------------------
     def run(self, chip: "NeuraChip", backend: str = "analytic",
-            impl: str = "numpy", verify: bool = False) -> BatchReport:
+            impl: str = "numpy", verify: bool = False,
+            executor: str = "serial", workers: int | None = None
+            ) -> BatchReport:
         """Execute every queued job on ``chip`` through ``backend``.
 
         Compiled programs are reused across jobs with identical operands and
         tile size, so a queue that replays the same graph many times (e.g.
-        repeated inference requests) pays the symbolic pass once.
+        repeated inference requests) pays the symbolic pass once.  This now
+        routes through a :class:`~repro.core.session.Session` bound to the
+        queue's cache; pass ``executor`` / ``workers`` to fan the jobs out.
         """
-        report = BatchReport(backend=backend)
-        for job in self.jobs:
-            tile = job.tile_size or chip.config.mmh_tile_size
-            key = self.cache.key(job.a, job.b, tile)
-            program = self.cache.get(key)
-            cache_hit = program is not None
-            if program is None:
-                program = chip.compile(job.a, job.b, tile_size=tile,
-                                       source=job.source)
-                self.cache.put(key, program)
-            result = chip.run_program(program, a=job.a, b=job.b,
-                                      backend=backend, impl=impl,
-                                      verify=verify)
-            report.outcomes.append(JobOutcome(label=job.label, result=result,
-                                              cache_hit=cache_hit))
-            if cache_hit:
-                report.cache_hits += 1
-        return report
+        from repro.core.session import Session
+        from repro.core.specs import BatchSpec, SpGEMMSpec
+
+        session = Session(chip, backend=backend, impl=impl,
+                          executor=executor, workers=workers,
+                          cache=self.cache)
+        try:
+            specs = [SpGEMMSpec(a=job.a, b=job.b, label=job.label,
+                                tile_size=job.tile_size, source=job.source,
+                                verify=verify)
+                     for job in self.jobs]
+            return session.run(BatchSpec(specs=specs)).legacy
+        finally:
+            session.close()

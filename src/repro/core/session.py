@@ -1,0 +1,525 @@
+"""The unified Session API: declarative specs in, RunResult envelopes out.
+
+A :class:`Session` owns everything the four legacy entry points used to
+wire up ad hoc: backend resolution, kernel-implementation selection, a
+pluggable executor (``serial`` / ``thread`` / ``process``, registered like
+backends), and a persistent LRU :class:`~repro.core.runner.ProgramCache`.
+Workloads are described declaratively (:mod:`repro.core.specs`) and
+submitted through three verbs::
+
+    from repro.core import Session, SpGEMMSpec
+
+    with Session("Tile-16", backend="analytic", executor="process",
+                 workers=4, cache_dir="~/.cache/neurachip-repro") as session:
+        result = session.run(SpGEMMSpec(a=adjacency))          # one result
+        results = session.map([SpGEMMSpec(a=m) for m in mats]) # fan-out
+        future = session.submit(SpGEMMSpec(a=adjacency))       # async
+
+Every execution returns a :class:`~repro.core.specs.RunResult` carrying
+metrics, activity factors, power/energy, and provenance (backend, impl,
+executor, cache hit, wall time, shard count).
+
+Sharding: an :class:`~repro.core.specs.SpGEMMSpec` with ``shards > 1`` is
+split by the planner into balanced row-group jobs — rows of A partition the
+partial products of A @ B exactly — which fan out over the executor and
+reduce into a single result whose output matrix is identical to the
+unsharded product.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from functools import partial
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.arch.config import NeuraChipConfig, get_config
+from repro.backends import get_backend
+from repro.compiler import compile_gcn_aggregation
+from repro.compiler.program import ProgramDigest
+from repro.core.executors import Executor, get_executor
+from repro.core.runner import (
+    DEFAULT_CACHE_CAPACITY,
+    BatchReport,
+    JobOutcome,
+    ProgramCache,
+)
+from repro.core.specs import (
+    BatchSpec,
+    GCNLayerSpec,
+    Provenance,
+    RunResult,
+    SpGEMMSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.sim.params import SimulationParams
+from repro.sparse.convert import csc_to_csr, csr_vstack
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.kernels import IMPLS
+
+
+# ----------------------------------------------------------------------
+# Sharding planner
+# ----------------------------------------------------------------------
+def plan_row_shards(a_csr: CSRMatrix, n_shards: int) -> list[tuple[int, int]]:
+    """Split the rows of A into ``n_shards`` contiguous groups balanced by
+    non-zero count (a proxy for per-shard partial-product work).
+
+    Returns half-open ``(start, stop)`` row ranges that cover every row
+    exactly once; degenerate requests (more shards than rows) are clamped.
+    """
+    n_rows = a_csr.shape[0]
+    if n_rows == 0:
+        raise ValueError("cannot shard an empty matrix")
+    n_shards = max(1, min(n_shards, n_rows))
+    cumulative = np.cumsum(a_csr.row_nnz_counts())
+    total = int(cumulative[-1])
+    cuts = [0]
+    for shard in range(1, n_shards):
+        cut = int(np.searchsorted(cumulative, total * shard / n_shards,
+                                  side="left")) + 1
+        # Keep every shard non-empty even on pathological distributions.
+        cut = min(max(cut, cuts[-1] + 1), n_rows - (n_shards - shard))
+        cuts.append(cut)
+    cuts.append(n_rows)
+    return list(zip(cuts[:-1], cuts[1:]))
+
+
+# ----------------------------------------------------------------------
+# Process-executor workers (module level so they pickle)
+# ----------------------------------------------------------------------
+def _process_spec_worker(state: dict, spec: WorkloadSpec) -> RunResult:
+    """Run one spec in a worker process with a session rebuilt from
+    ``state``; the in-memory cache is per-worker but the disk cache (when
+    configured) is shared through the filesystem."""
+    session = Session(**state)
+    try:
+        # Slim the result so the reply doesn't serialise the full macro-op
+        # stream; count-level digests keep every report column working.
+        return session.run(spec).slim()
+    finally:
+        session.close()
+
+
+def _sweep_config_worker(payload: dict) -> tuple[str, dict[str, float]]:
+    """Run one configuration of a design-space sweep and return its raw
+    Figure-11 metrics row.
+
+    Deliberately routes through ``NeuraChip.run_spgemm`` so callers that
+    patch or subclass the facade see the sweep's per-config runs.
+    """
+    import warnings
+
+    from repro.core.api import NeuraChip
+
+    chip = NeuraChip(payload["config"], eviction_mode=payload["eviction_mode"],
+                     params=payload["params"])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        result = chip.run_spgemm(payload["a"], payload["b"], verify=False,
+                                 backend=payload["backend"])
+    report = result.report
+    if report is None:
+        raise ValueError(f"backend {payload['backend']!r} produces no timing "
+                         "report; use 'cycle' or 'analytic'")
+    return chip.config.name, {
+        "stall_cycles": report.stall_cycles,
+        "cpi": report.cpi,
+        "ipc": report.ipc,
+        "in_flight_instx": report.avg_inflight_mem,
+        "power": result.power_w,
+        "busy_cycles": report.busy_cycles,
+        "cycles": report.cycles,
+        "gops": report.gops,
+    }
+
+
+# ----------------------------------------------------------------------
+# Session
+# ----------------------------------------------------------------------
+class Session:
+    """One configured execution context: chip + backend + executor + cache.
+
+    Args:
+        chip_config: configuration name, :class:`NeuraChipConfig`, or an
+            existing :class:`~repro.core.api.NeuraChip` to bind to.
+        backend: registered execution backend name for every run.
+        impl: kernel implementation for kernel-layer backends.
+        executor: registered executor name ('serial', 'thread', 'process').
+        workers: worker count for the pooled executors.
+        cache: an existing :class:`ProgramCache` to share; overrides
+            ``cache_dir`` / ``cache_capacity``.
+        cache_dir: directory for the persistent program cache; ``None``
+            keeps the cache in memory only.
+        cache_capacity: in-memory LRU bound.
+        mapping_scheme / eviction_mode / params / mapping_seed: forwarded
+            to the chip when one is constructed here.
+
+    All names (backend, executor, impl) are resolved eagerly so a typo
+    fails at construction, not mid-batch.
+    """
+
+    def __init__(self, chip_config="Tile-16", *,
+                 backend: str = "cycle", impl: str = "numpy",
+                 executor: str = "serial", workers: int | None = None,
+                 cache: ProgramCache | None = None,
+                 cache_dir: str | Path | None = None,
+                 cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+                 mapping_scheme: str | None = None,
+                 eviction_mode: str = "rolling",
+                 params: SimulationParams | None = None,
+                 mapping_seed: int = 0) -> None:
+        from repro.core.api import NeuraChip
+
+        if isinstance(chip_config, NeuraChip):
+            self.chip = chip_config
+        else:
+            self.chip = NeuraChip(chip_config, mapping_scheme=mapping_scheme,
+                                  eviction_mode=eviction_mode, params=params,
+                                  mapping_seed=mapping_seed)
+        get_backend(backend)  # fail fast on unknown names
+        if impl not in IMPLS:
+            raise ValueError(f"unknown kernel impl {impl!r}; "
+                             f"available impls: {list(IMPLS)}")
+        self.backend = backend
+        self.impl = impl
+        self.executor: Executor = get_executor(executor, workers=workers)
+        self.cache = cache if cache is not None else \
+            ProgramCache(cache_capacity, cache_dir=cache_dir)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Public verbs
+    # ------------------------------------------------------------------
+    def run(self, spec: WorkloadSpec) -> RunResult:
+        """Execute one spec and return its :class:`RunResult`."""
+        return self._run_one(spec)
+
+    def map(self, specs: Iterable[WorkloadSpec]) -> list[RunResult]:
+        """Execute many specs over the session executor; results come back
+        in submission order."""
+        return self._map_specs(list(specs))
+
+    def submit(self, spec: WorkloadSpec):
+        """Schedule one spec; returns a ``concurrent.futures.Future`` whose
+        result is the :class:`RunResult`."""
+        if self.executor.name == "process":
+            fn = partial(_process_spec_worker, self._subprocess_state())
+        else:
+            fn = self._run_in_worker
+        return self.executor.submit(fn, spec)
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def cache_stats(self) -> dict:
+        """Program-cache hit/miss counters and sizing."""
+        return self.cache.stats()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _run_one(self, spec: WorkloadSpec) -> RunResult:
+        if isinstance(spec, SpGEMMSpec):
+            return self._run_spgemm(spec)
+        if isinstance(spec, GCNLayerSpec):
+            return self._run_gcn_layer(spec)
+        if isinstance(spec, SweepSpec):
+            return self._run_sweep(spec)
+        if isinstance(spec, BatchSpec):
+            return self._run_batch(spec)
+        raise TypeError(f"unsupported spec type {type(spec)!r}")
+
+    def _map_specs(self, specs: Sequence[WorkloadSpec]) -> list[RunResult]:
+        if getattr(self._local, "in_worker", False):
+            # Already inside one of this session's pool workers (a sharded
+            # spec within a batch, or a sharded submit): fanning out to the
+            # same pool and blocking on the results would deadlock once the
+            # pool is saturated, so nested work runs inline instead.
+            return [self._run_one(spec) for spec in specs]
+        if self.executor.name == "process":
+            fn = partial(_process_spec_worker, self._subprocess_state())
+            return self.executor.map(fn, specs)
+        return self.executor.map(self._run_in_worker, specs)
+
+    def _run_in_worker(self, spec: WorkloadSpec) -> RunResult:
+        """Run one spec with the worker flag set so nested fan-out stays
+        inline (see :meth:`_map_specs`)."""
+        self._local.in_worker = True
+        try:
+            return self._run_one(spec)
+        finally:
+            self._local.in_worker = False
+
+    def _subprocess_state(self) -> dict:
+        """Constructor kwargs rebuilding this session inside a worker
+        process (executor forced serial; disk cache shared, memory not)."""
+        chip = self.chip
+        return {
+            "chip_config": chip.config,
+            "backend": self.backend,
+            "impl": self.impl,
+            "executor": "serial",
+            "cache_dir": self.cache.cache_dir,
+            "cache_capacity": self.cache.capacity,
+            "mapping_scheme": chip.mapping_scheme,
+            "eviction_mode": chip.eviction_mode,
+            "params": chip.params,
+            "mapping_seed": chip.mapping_seed,
+        }
+
+    # ------------------------------------------------------------------
+    # SpGEMM
+    # ------------------------------------------------------------------
+    def _compile_cached(self, a_csr: CSRMatrix, b_csr: CSRMatrix | None,
+                        tile_size: int, source: str) -> tuple:
+        """Compile (or fetch) the program for (a, b); returns
+        ``(program, cache_hit)``."""
+        key = self.cache.key(a_csr, b_csr, tile_size)
+        program = self.cache.get(key)
+        if program is not None:
+            return program, True
+        program = self.chip.compile(a_csr, b_csr, tile_size=tile_size,
+                                    source=source)
+        self.cache.put(key, program)
+        return program, False
+
+    def _run_spgemm(self, spec: SpGEMMSpec) -> RunResult:
+        from repro.core.api import SpGEMMRunResult, _as_csr
+
+        start = time.perf_counter()
+        a_csr = _as_csr(spec.a)
+        b_csr = _as_csr(spec.b) if spec.b is not None else None
+        if spec.shards > 1:
+            return self._run_sharded_spgemm(spec, a_csr, b_csr, start)
+        tile = spec.tile_size or self.chip.config.mmh_tile_size
+        program, cache_hit = self._compile_cached(a_csr, b_csr, tile,
+                                                  spec.source)
+        legacy: SpGEMMRunResult = self.chip.run_program(
+            program, a=a_csr, b=b_csr if b_csr is not None else a_csr,
+            backend=self.backend, impl=self.impl, verify=spec.verify)
+        wall = time.perf_counter() - start
+        report = legacy.report
+        metrics = {
+            "cycles": report.cycles if report is not None else 0.0,
+            "gops": round(report.gops, 3) if report is not None else 0.0,
+            "mmh": program.n_instructions,
+            "partial_products": program.total_partial_products,
+            "output_nnz": legacy.output.nnz,
+            "verified": report.correct if report is not None else None,
+        }
+        activity = (self.chip._activity_from_report(report)
+                    if report is not None else {})
+        return RunResult(
+            kind="spgemm", label=spec.label, metrics=metrics,
+            activity=activity,
+            provenance=self._provenance(cache_hit=cache_hit, wall=wall),
+            output=legacy.output, report=report, program=program,
+            power_w=legacy.power_w, energy_j=legacy.energy_j, legacy=legacy)
+
+    def _run_sharded_spgemm(self, spec: SpGEMMSpec, a_csr: CSRMatrix,
+                            b_csr: CSRMatrix | None,
+                            start: float) -> RunResult:
+        """Split C = A @ B into row-group shards, fan them out over the
+        executor, and reduce into one result.
+
+        Rows of A partition the partial products of A @ B exactly, so the
+        merged output matrix, output nnz, and total partial-product count
+        are identical to the unsharded run; per-shard timing reports are
+        aggregated (cycles summed — a sequential estimate)."""
+        from repro.core.api import SpGEMMRunResult
+
+        effective_b = b_csr if b_csr is not None else a_csr
+        ranges = plan_row_shards(a_csr, spec.shards)
+        shard_specs = [
+            SpGEMMSpec(a=a_csr.row_slice(lo, hi), b=effective_b,
+                       tile_size=spec.tile_size, verify=spec.verify,
+                       source=f"{spec.source}[{lo}:{hi}]",
+                       label=f"{spec.label}/shard{index}")
+            for index, (lo, hi) in enumerate(ranges)
+        ]
+        shard_results = self._map_specs(shard_specs)
+        output = csr_vstack([result.output for result in shard_results])
+        wall = time.perf_counter() - start
+        verified = [result.metrics.get("verified") for result in shard_results]
+        powers = [result.power_w for result in shard_results
+                  if result.power_w > 0]
+        metrics = {
+            "cycles": sum(r.metrics["cycles"] for r in shard_results),
+            "gops": round(sum(r.metrics["gops"] for r in shard_results), 3),
+            "mmh": sum(r.metrics["mmh"] for r in shard_results),
+            "partial_products": sum(r.metrics["partial_products"]
+                                    for r in shard_results),
+            "output_nnz": output.nnz,
+            "verified": (None if any(v is None for v in verified)
+                         else all(verified)),
+        }
+        provenance = self._provenance(
+            cache_hit=all(r.cache_hit for r in shard_results), wall=wall)
+        provenance.shards = len(shard_results)
+        power_w = max(powers) if powers else 0.0
+        energy_j = sum(r.energy_j for r in shard_results)
+        # No single compiled program backs a sharded run; a count digest
+        # stands in so report rows and legacy consumers keep working.
+        digest = ProgramDigest(
+            n_instructions=metrics["mmh"],
+            total_partial_products=metrics["partial_products"],
+            output_nnz=output.nnz, shape=output.shape,
+            tile_size=spec.tile_size or self.chip.config.mmh_tile_size,
+            a_nnz=a_csr.nnz, b_nnz=effective_b.nnz, source=spec.source)
+        legacy = SpGEMMRunResult(program=digest, report=None, functional=None,
+                                 output=output, power_w=power_w,
+                                 energy_j=energy_j, backend=self.backend)
+        return RunResult(
+            kind="spgemm", label=spec.label, metrics=metrics,
+            provenance=provenance, output=output, program=digest,
+            power_w=power_w, energy_j=energy_j, legacy=legacy,
+            shard_results=shard_results)
+
+    # ------------------------------------------------------------------
+    # GCN layer
+    # ------------------------------------------------------------------
+    def _run_gcn_layer(self, spec: GCNLayerSpec) -> RunResult:
+        from repro.core.api import GCNRunResult, SpGEMMRunResult
+        from repro.datasets.suite import DatasetSpec, GraphDataset
+        from repro.gnn.gcn import GCNWorkload
+
+        start = time.perf_counter()
+        dataset = spec.dataset
+        if not isinstance(dataset, GraphDataset):
+            dataset_spec = DatasetSpec("custom", "custom", dataset.shape[0],
+                                       dataset.nnz, 0.0, None,
+                                       feature_dim=spec.feature_dim)
+            dataset = GraphDataset(dataset_spec, dataset, 1.0)
+        workload = GCNWorkload.build(dataset, feature_dim=spec.feature_dim,
+                                     hidden_dim=spec.hidden_dim,
+                                     feature_density=spec.feature_density,
+                                     seed=spec.seed)
+        a_csc = workload.adjacency_csc
+        tile = self.chip.config.mmh_tile_size
+        key = self.cache.key(a_csc, workload.features, tile, kind="gcn")
+        program = self.cache.get(key)
+        cache_hit = program is not None
+        if program is None:
+            program = compile_gcn_aggregation(a_csc, workload.features,
+                                              tile_size=tile,
+                                              dataset=workload.dataset.name)
+            self.cache.put(key, program)
+        execution = get_backend(self.backend).execute(
+            program, self.chip._context(self.impl),
+            a_csr=csc_to_csr(a_csc), b_csr=workload.features,
+            verify=spec.verify)
+        report = execution.report
+        combined = workload.layer.combination(execution.to_dense())
+        combination_cycles = self.chip._combination_cycles(workload)
+        aggregation_cycles = report.cycles if report is not None else 0.0
+        power_w, energy_j = self.chip._estimate_power(report)
+        aggregation = SpGEMMRunResult(
+            program=program, report=report, functional=execution.functional,
+            output=execution.output, power_w=power_w, energy_j=energy_j,
+            backend=execution.backend)
+        legacy = GCNRunResult(
+            aggregation=aggregation, combination_cycles=combination_cycles,
+            total_cycles=aggregation_cycles + combination_cycles,
+            output=combined, workload=workload,
+            metadata={"feature_dim": spec.feature_dim,
+                      "hidden_dim": spec.hidden_dim})
+        wall = time.perf_counter() - start
+        metrics = {
+            "aggregation_cycles": aggregation_cycles,
+            "combination_cycles": round(combination_cycles, 1),
+            "total_cycles": round(legacy.total_cycles, 1),
+            "output_shape": str(combined.shape),
+            "verified": report.correct if report is not None else None,
+        }
+        activity = (self.chip._activity_from_report(report)
+                    if report is not None else {})
+        return RunResult(
+            kind="gcn_layer", label=spec.label, metrics=metrics,
+            activity=activity,
+            provenance=self._provenance(cache_hit=cache_hit, wall=wall),
+            output=combined, report=report, program=program,
+            power_w=power_w, energy_j=energy_j, legacy=legacy)
+
+    # ------------------------------------------------------------------
+    # Design-space sweep
+    # ------------------------------------------------------------------
+    def _run_sweep(self, spec: SweepSpec) -> RunResult:
+        start = time.perf_counter()
+        get_backend(self.backend)
+        if self.backend == "functional":
+            raise ValueError("backend 'functional' produces no timing report; "
+                             "use 'cycle' or 'analytic'")
+        payloads = [{"config": config, "a": spec.a, "b": spec.b,
+                     "eviction_mode": spec.eviction_mode,
+                     "params": self.chip.params, "backend": self.backend}
+                    for config in spec.configs]
+        raw = dict(self.executor.map(_sweep_config_worker, payloads))
+        table = raw if spec.normalize_to is None else \
+            self._normalize_sweep(raw, spec)
+        wall = time.perf_counter() - start
+        return RunResult(
+            kind="sweep", label=spec.label,
+            metrics={"configs": len(table)},
+            provenance=self._provenance(cache_hit=False, wall=wall),
+            legacy=table)
+
+    @staticmethod
+    def _normalize_sweep(raw: dict, spec: SweepSpec) -> dict:
+        base_name = get_config(spec.normalize_to).name \
+            if isinstance(spec.normalize_to, str) else spec.normalize_to.name
+        base = raw[base_name]
+        normalized: dict[str, dict[str, float]] = {}
+        for name, metrics in raw.items():
+            normalized[name] = {}
+            for key, value in metrics.items():
+                if not base.get(key):
+                    if spec.on_missing_base == "raise":
+                        raise ValueError(
+                            f"cannot normalise metric {key!r}: baseline "
+                            f"{base_name!r} reports {base.get(key)!r}")
+                    continue
+                normalized[name][key] = value / base[key]
+        return normalized
+
+    # ------------------------------------------------------------------
+    # Batch
+    # ------------------------------------------------------------------
+    def _run_batch(self, spec: BatchSpec) -> RunResult:
+        start = time.perf_counter()
+        results = self._map_specs(spec.specs)
+        outcomes = [JobOutcome(label=result.label, result=result.legacy,
+                               cache_hit=result.cache_hit,
+                               wall_time_s=result.wall_time_s)
+                    for result in results]
+        wall = time.perf_counter() - start
+        legacy = BatchReport(outcomes=outcomes, backend=self.backend,
+                             executor=self.executor.name,
+                             cache_hits=sum(o.cache_hit for o in outcomes),
+                             wall_time_s=wall)
+        provenance = self._provenance(
+            cache_hit=bool(outcomes) and all(o.cache_hit for o in outcomes),
+            wall=wall)
+        return RunResult(
+            kind="batch", label=spec.label, metrics=legacy.summary(),
+            provenance=provenance, legacy=legacy,
+            power_w=max((o.result.power_w for o in outcomes), default=0.0),
+            energy_j=legacy.total_energy_j)
+
+    # ------------------------------------------------------------------
+    def _provenance(self, cache_hit: bool, wall: float) -> Provenance:
+        return Provenance(backend=self.backend, impl=self.impl,
+                          executor=self.executor.name,
+                          config=self.chip.config.name,
+                          cache_hit=cache_hit, wall_time_s=wall)

@@ -1,0 +1,246 @@
+"""Declarative workload specifications and the unified result envelope.
+
+Every workload the repository knows how to execute is described by a typed,
+immutable-ish *spec* dataclass — :class:`SpGEMMSpec`, :class:`GCNLayerSpec`,
+:class:`SweepSpec`, :class:`BatchSpec` — and submitted to a
+:class:`~repro.core.session.Session` via ``session.run(spec)`` /
+``session.map(specs)`` / ``session.submit(spec)``.  Each execution returns a
+:class:`RunResult`: one envelope carrying the flat metrics row, per-component
+activity factors, power/energy, and a :class:`Provenance` record (backend,
+kernel impl, executor, cache hit, wall time, shard count).
+
+Specs are plain data: they carry operands and knobs, never behaviour, so
+they can be pickled across process boundaries, fingerprinted for caching,
+and fanned out by the executor layer without touching the chip they will
+eventually run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.compiler.program import Program
+from repro.sim.accelerator import SimulationReport
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class WorkloadSpec:
+    """Base class for all workload specifications."""
+
+    #: Human-readable name used in reports and tables.
+    label: str = "workload"
+
+
+@dataclass
+class SpGEMMSpec(WorkloadSpec):
+    """One SpGEMM workload: C = A @ B (B defaults to A).
+
+    Attributes:
+        a: left operand (CSR/CSC/COO or dense numpy array).
+        b: right operand; ``None`` means the A @ A workload.
+        tile_size: MMH tile-size override; ``None`` uses the chip default.
+        verify: verify the output against a reference (cycle backend only).
+        source: workload label recorded in the compiled program.
+        shards: split the workload into this many row-group shards that fan
+            out over the session's executor and reduce into one result.
+    """
+
+    a: Any = None
+    b: Any = None
+    tile_size: int | None = None
+    verify: bool = True
+    source: str = "spgemm"
+    shards: int = 1
+    label: str = "spgemm"
+
+    def __post_init__(self) -> None:
+        if self.a is None:
+            raise ValueError("SpGEMMSpec requires operand 'a'")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+
+@dataclass
+class GCNLayerSpec(WorkloadSpec):
+    """One GCN layer: aggregation on the accelerator, combination modelled.
+
+    Attributes:
+        dataset: a :class:`~repro.datasets.suite.GraphDataset` or a raw
+            adjacency :class:`~repro.sparse.coo.COOMatrix`.
+        feature_dim / hidden_dim: layer dimensions.
+        feature_density: density of the synthetic feature matrix.
+        verify: verify the aggregation output (cycle backend only).
+        seed: feature / weight seed.
+    """
+
+    dataset: Any = None
+    feature_dim: int = 32
+    hidden_dim: int = 16
+    feature_density: float = 0.3
+    verify: bool = True
+    seed: int = 7
+    label: str = "gcn-layer"
+
+    def __post_init__(self) -> None:
+        if self.dataset is None:
+            raise ValueError("GCNLayerSpec requires a dataset")
+
+
+@dataclass
+class SweepSpec(WorkloadSpec):
+    """A design-space sweep: the same workload across tile configurations.
+
+    Attributes:
+        a / b: SpGEMM operands (B defaults to A).
+        configs: configuration names or objects to sweep over.
+        normalize_to: configuration the metrics are normalised to;
+            ``None`` reports raw values.
+        eviction_mode: eviction mode for every configuration.
+        on_missing_base: ``"skip"`` omits metrics whose baseline is
+            missing/zero from the normalised output; ``"raise"`` errors.
+    """
+
+    a: Any = None
+    b: Any = None
+    configs: Sequence[Any] = ("Tile-4", "Tile-16", "Tile-64")
+    normalize_to: str | None = "Tile-4"
+    eviction_mode: str = "rolling"
+    on_missing_base: str = "skip"
+    label: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if self.a is None:
+            raise ValueError("SweepSpec requires operand 'a'")
+        if self.on_missing_base not in ("skip", "raise"):
+            raise ValueError("on_missing_base must be 'skip' or 'raise'")
+
+
+@dataclass
+class BatchSpec(WorkloadSpec):
+    """Many jobs executed over one chip with shared program caching.
+
+    Attributes:
+        specs: the member workloads (currently :class:`SpGEMMSpec` only).
+    """
+
+    specs: Sequence[SpGEMMSpec] = ()
+    label: str = "batch"
+
+    def __post_init__(self) -> None:
+        self.specs = list(self.specs)
+        for spec in self.specs:
+            if not isinstance(spec, SpGEMMSpec):
+                raise TypeError("BatchSpec members must be SpGEMMSpec, "
+                                f"got {type(spec)!r}")
+
+
+@dataclass
+class Provenance:
+    """Where a result came from and what it cost to produce.
+
+    Attributes:
+        backend: execution backend name.
+        impl: kernel implementation used by kernel-layer backends.
+        executor: executor the work ran on ('serial', 'thread', 'process').
+        config: chip configuration name.
+        cache_hit: True when the compiled program came from the program
+            cache (in-memory or disk) instead of a fresh compile.
+        wall_time_s: host wall-clock seconds for compile + execute.
+        shards: number of row-group shards the workload was split into.
+    """
+
+    backend: str = ""
+    impl: str = ""
+    executor: str = "serial"
+    config: str = ""
+    cache_hit: bool = False
+    wall_time_s: float = 0.0
+    shards: int = 1
+
+
+@dataclass
+class RunResult:
+    """Unified envelope for every workload kind a session executes.
+
+    Attributes:
+        kind: 'spgemm' | 'gcn_layer' | 'sweep' | 'batch'.
+        label: the spec's label.
+        metrics: flat metrics row (cycles, gops, op counts, ...); suitable
+            for table / CSV export after dropping ``None`` values.
+        activity: per-component activity factors (when a timing report
+            exists) — the input to the power model.
+        provenance: backend / impl / executor / cache / wall-time record.
+        output: the numeric result — CSR product matrix for SpGEMM, dense
+            layer output for GCN, ``None`` for sweeps and batches.
+        report: timing report when a single timing run backs this result.
+        program: the compiled program for single SpGEMM runs.
+        power_w / energy_j: modelled power and energy.
+        legacy: the pre-Session result object (``SpGEMMRunResult``,
+            ``GCNRunResult``, ``BatchReport``, or the sweep dict) so the
+            deprecation shims can return exactly what they always did.
+        shard_results: per-shard results for sharded executions.
+    """
+
+    kind: str = ""
+    label: str = ""
+    metrics: dict[str, Any] = field(default_factory=dict)
+    activity: dict[str, float] = field(default_factory=dict)
+    provenance: Provenance = field(default_factory=Provenance)
+    output: CSRMatrix | np.ndarray | None = None
+    report: SimulationReport | None = None
+    program: Program | None = None
+    power_w: float = 0.0
+    energy_j: float = 0.0
+    legacy: Any = None
+    shard_results: list["RunResult"] | None = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.provenance.cache_hit
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.provenance.wall_time_s
+
+    def slim(self) -> "RunResult":
+        """Replace heavyweight program payloads with count-level digests
+        (in place; returns self).
+
+        Used by the process executor so results crossing a process boundary
+        don't serialise full macro-op streams — every report column still
+        works, but ``program`` becomes a
+        :class:`~repro.compiler.program.ProgramDigest`.
+        """
+        if self.program is not None:
+            self.program = self.program.digest()
+        legacy = self.legacy
+        if legacy is not None and getattr(legacy, "program", None) is not None:
+            legacy.program = legacy.program.digest()
+        aggregation = getattr(legacy, "aggregation", None)
+        if aggregation is not None and aggregation.program is not None:
+            aggregation.program = aggregation.program.digest()
+        if self.shard_results:
+            for shard in self.shard_results:
+                shard.slim()
+        return self
+
+    def as_row(self) -> dict:
+        """Flat row for table / CSV export; ``None``-valued fields dropped."""
+        row = {
+            "label": self.label,
+            "kind": self.kind,
+            "config": self.provenance.config or None,
+            "backend": self.provenance.backend or None,
+            "executor": self.provenance.executor or None,
+            **self.metrics,
+            "power_w": round(self.power_w, 3),
+            "cache_hit": self.provenance.cache_hit,
+            "wall_time_s": round(self.provenance.wall_time_s, 6),
+        }
+        if self.provenance.shards > 1:
+            row["shards"] = self.provenance.shards
+        return {key: value for key, value in row.items() if value is not None}

@@ -77,3 +77,28 @@ def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
 def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
     """Convert CSC to CSR of the *same* matrix."""
     return coo_to_csr(csc_to_coo(csc))
+
+
+def csr_vstack(blocks: list[CSRMatrix]) -> CSRMatrix:
+    """Stack CSR matrices vertically (shared column dimension).
+
+    The inverse of :meth:`CSRMatrix.row_slice`: stacking the row slices of a
+    matrix in order reproduces it exactly, which lets the sharding planner
+    reduce per-shard SpGEMM outputs into the unsharded product.
+    """
+    if not blocks:
+        raise ValueError("csr_vstack requires at least one block")
+    n_cols = blocks[0].shape[1]
+    for block in blocks[1:]:
+        if block.shape[1] != n_cols:
+            raise ValueError("csr_vstack blocks must share the column "
+                             f"dimension; got {block.shape[1]} != {n_cols}")
+    indptrs = [blocks[0].indptr]
+    offset = blocks[0].indptr[-1]
+    for block in blocks[1:]:
+        indptrs.append(block.indptr[1:] + offset)
+        offset += block.indptr[-1]
+    return CSRMatrix(np.concatenate(indptrs),
+                     np.concatenate([b.indices for b in blocks]),
+                     np.concatenate([b.data for b in blocks]),
+                     (sum(b.shape[0] for b in blocks), n_cols))

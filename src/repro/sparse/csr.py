@@ -105,6 +105,22 @@ class CSRMatrix:
         """Per-row non-zero counts as an int64 array of length ``n_rows``."""
         return np.diff(self.indptr)
 
+    def row_slice(self, start: int, stop: int) -> "CSRMatrix":
+        """Return rows ``[start, stop)`` as a new CSR matrix.
+
+        The slice keeps the full column dimension, so the product of a row
+        slice of A with B is exactly the matching row block of A @ B — the
+        property the sharding planner relies on.
+        """
+        if not 0 <= start <= stop <= self.shape[0]:
+            raise IndexError(f"row slice [{start}, {stop}) out of range for "
+                             f"{self.shape[0]} rows")
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        return CSRMatrix(self.indptr[start:stop + 1] - self.indptr[start],
+                         self.indices[lo:hi].copy(),
+                         self.data[lo:hi].copy(),
+                         (stop - start, self.shape[1]))
+
     def get(self, i: int, j: int) -> float:
         """Return the value at (i, j), or 0.0 if the entry is not stored."""
         cols, vals = self.row(i)

@@ -71,15 +71,31 @@ def speedup_table_to_rows(table: dict[str, dict[str, float]]) -> list[dict]:
     return rows
 
 
+def results_to_rows(results) -> list[dict]:
+    """Flatten :class:`~repro.core.specs.RunResult` envelopes (or anything
+    exposing ``as_row``) into printable / CSV-ready rows."""
+    return [result.as_row() for result in results]
+
+
 def save_csv(rows: list[dict], path: str | Path) -> Path:
-    """Write row dicts to a CSV file; returns the path."""
+    """Write row dicts to a CSV file; returns the path.
+
+    The header is the union of every row's keys (first-seen order), so rows
+    that dropped ``None``-valued fields still export rectangularly — missing
+    cells are left empty rather than raising or shifting columns.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         path.write_text("")
         return path
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(rows)
     return path

@@ -37,17 +37,61 @@ class TestFingerprint:
 
 
 class TestProgramCache:
-    def test_fifo_eviction(self):
+    def test_insertion_order_eviction_without_touches(self):
         cache = ProgramCache(capacity=2)
         for i in range(3):
             cache.put(("key", i), f"program-{i}")
         assert cache.get(("key", 0)) is None
         assert cache.get(("key", 2)) == "program-2"
 
+    def test_lru_get_touch_protects_entry(self):
+        cache = ProgramCache(capacity=2)
+        cache.put(("key", 0), "program-0")
+        cache.put(("key", 1), "program-1")
+        assert cache.get(("key", 0)) == "program-0"  # touch: 0 becomes MRU
+        cache.put(("key", 2), "program-2")           # evicts 1, not 0
+        assert cache.get(("key", 0)) == "program-0"
+        assert cache.get(("key", 1)) is None
+        assert cache.get(("key", 2)) == "program-2"
+
+    def test_lru_put_touch_refreshes_entry(self):
+        cache = ProgramCache(capacity=2)
+        cache.put(("key", 0), "program-0")
+        cache.put(("key", 1), "program-1")
+        cache.put(("key", 0), "program-0b")  # re-put: 0 becomes MRU
+        cache.put(("key", 2), "program-2")   # evicts 1
+        assert cache.get(("key", 0)) == "program-0b"
+        assert cache.get(("key", 1)) is None
+
     def test_zero_capacity_never_stores(self):
         cache = ProgramCache(capacity=0)
         cache.put(("k",), "p")
         assert len(cache) == 0
+
+    def test_hit_miss_counters_in_stats(self):
+        cache = ProgramCache(capacity=2)
+        cache.put(("k",), "p")
+        cache.get(("k",))
+        cache.get(("absent",))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["cache_dir"] is None
+
+    def test_disk_spill_and_reload(self, tmp_path, chip, graphs):
+        a = graphs["wiki-Vote"]
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        key = cache.key(a, None, 4)
+        cache.put(key, chip.compile(a, tile_size=4))
+        assert list(tmp_path.glob("*.pkl"))
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.disk_hits == 1
+
+    def test_rejects_file_as_cache_dir(self, tmp_path):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("x")
+        with pytest.raises(ValueError, match="not a directory"):
+            ProgramCache(cache_dir=blocker)
 
 
 class TestRunBatch:

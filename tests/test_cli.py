@@ -39,6 +39,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--impl", "fortran"])
 
+    def test_session_flag_defaults(self):
+        for command in ("run", "gcn", "sweep", "batch"):
+            args = build_parser().parse_args([command])
+            assert args.executor == "serial"
+            assert args.workers is None
+            assert args.cache_dir is None
+
+    def test_invalid_executor_rejected(self):
+        for command in ("run", "batch"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--executor", "gpu"])
+
+    def test_unknown_backend_rejected_on_every_subcommand(self):
+        for command in ("run", "gcn", "sweep", "batch"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--backend", "quantum"])
+
 
 class TestCommands:
     def test_datasets_lists_both_suites(self, capsys):
@@ -127,3 +144,67 @@ class TestCommands:
         saved = list(tmp_path.glob("batch_*.csv"))
         assert len(saved) == 1
         assert "partial_products" in saved[0].read_text()
+
+
+class TestSessionIntegration:
+    """The CLI routes every workload subcommand through a Session."""
+
+    def test_unknown_config_is_a_clean_error(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-99", "--backend", "analytic"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Tile-99" in err
+
+    def test_unknown_dataset_is_a_clean_error(self, capsys):
+        code = main(["run", "--dataset", "no-such-graph", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "analytic"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_cache_dir_is_a_clean_error(self, tmp_path, capsys):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("x")
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "analytic",
+                     "--cache-dir", str(blocker)])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_warm_cache_dir_reports_cache_hit(self, tmp_path, capsys):
+        argv = ["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                "--config", "Tile-4", "--backend", "analytic",
+                "--cache-dir", str(tmp_path / "programs")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "False" in cold  # first invocation compiles
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "True" in warm  # second invocation hits the disk cache
+        assert list((tmp_path / "programs").glob("*.pkl"))
+
+    def test_run_reports_wall_time_and_cache_columns(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "analytic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache_hit" in out
+        assert "wall_time_s" in out
+
+    def test_sharded_run_reports_shard_columns(self, capsys):
+        argv = ["run", "--dataset", "wiki-Vote", "--max-nodes", "80",
+                "--config", "Tile-4", "--backend", "analytic",
+                "--shards", "3"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "partial_products" in out
+
+    def test_batch_thread_executor(self, capsys):
+        code = main(["batch", "--datasets", "wiki-Vote", "--repeat", "2",
+                     "--max-nodes", "64", "--config", "Tile-4",
+                     "--executor", "thread", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thread" in out
+        assert "wall_time_s" in out

@@ -55,6 +55,7 @@ class TestDenseWorkloads:
     "gcn_inference.py",
     "design_space_exploration.py",
     "mapping_exploration.py",
+    "sharded_execution.py",
     "spgemm_baseline_comparison.py",
 ])
 def test_examples_run_end_to_end(example, monkeypatch, capsys):

@@ -1,0 +1,81 @@
+"""The legacy entry points: thin deprecation shims forwarding to Session."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchReport,
+    NeuraChip,
+    Session,
+    SpGEMMSpec,
+    design_space_sweep,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wiki-Vote", max_nodes=80, seed=5).adjacency_csr()
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return NeuraChip("Tile-4")
+
+
+class TestRunSpgemmShim:
+    def test_warns_and_forwards(self, chip, wiki):
+        with pytest.deprecated_call(match="run_spgemm is deprecated"):
+            legacy = chip.run_spgemm(wiki, backend="analytic")
+        with Session(chip, backend="analytic") as session:
+            modern = session.run(SpGEMMSpec(a=wiki))
+        assert legacy.report.cycles == modern.metrics["cycles"]
+        assert legacy.program.total_partial_products == \
+            modern.metrics["partial_products"]
+        assert np.allclose(legacy.output.to_dense(), modern.output.to_dense())
+
+    def test_invalid_mode_still_raises_value_error(self, chip, wiki):
+        with pytest.raises(ValueError):
+            chip.run_spgemm(wiki, mode="magic")
+
+
+class TestRunGcnShim:
+    def test_warns_and_returns_legacy_result(self, chip):
+        dataset = load_dataset("cora", max_nodes=64, seed=6)
+        with pytest.deprecated_call(match="run_gcn_layer is deprecated"):
+            result = chip.run_gcn_layer(dataset, feature_dim=8, hidden_dim=4,
+                                        backend="analytic")
+        assert result.output.shape == (dataset.n_nodes, 4)
+        assert result.total_cycles > result.combination_cycles > 0
+
+
+class TestRunBatchShim:
+    def test_warns_and_forwards(self, chip, wiki):
+        with pytest.deprecated_call(match="run_batch is deprecated"):
+            report = chip.run_batch([wiki, wiki], backend="analytic")
+        assert isinstance(report, BatchReport)
+        assert report.n_jobs == 2
+        assert report.cache_hits == 1
+        assert report.as_rows()[1]["cache_hit"] is True
+
+    def test_forwards_executor_through_queue(self, chip, wiki):
+        from repro.core.runner import WorkloadQueue
+
+        queue = WorkloadQueue().add_spgemm(wiki).add_spgemm(wiki)
+        report = queue.run(chip, backend="analytic", executor="thread",
+                           workers=2)
+        assert report.executor == "thread"
+        assert report.n_jobs == 2
+
+
+class TestSweepShim:
+    def test_warns_and_matches_session_sweep(self, wiki):
+        from repro.core import SweepSpec
+
+        with pytest.deprecated_call(match="design_space_sweep is deprecated"):
+            legacy = design_space_sweep(wiki, configs=("Tile-4", "Tile-16"),
+                                        backend="analytic")
+        with Session("Tile-4", backend="analytic") as session:
+            modern = session.run(SweepSpec(
+                a=wiki, configs=("Tile-4", "Tile-16"))).legacy
+        assert legacy == modern

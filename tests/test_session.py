@@ -1,0 +1,374 @@
+"""The unified Session API: specs, executors, sharding, persistent cache."""
+
+import os
+import pickle
+import time
+import types
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchSpec,
+    GCNLayerSpec,
+    NeuraChip,
+    ProgramCache,
+    RunResult,
+    Session,
+    SpGEMMSpec,
+    SweepSpec,
+    available_executors,
+    get_executor,
+    matrix_fingerprint,
+    plan_row_shards,
+)
+from repro.datasets import load_dataset
+from repro.sparse.convert import csr_vstack
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wiki-Vote", max_nodes=96, seed=5).adjacency_csr()
+
+
+@pytest.fixture(scope="module")
+def facebook():
+    return load_dataset("facebook", max_nodes=96, seed=5).adjacency_csr()
+
+
+@pytest.fixture(scope="module")
+def analytic_session():
+    session = Session("Tile-4", backend="analytic")
+    yield session
+    session.close()
+
+
+class TestConstruction:
+    def test_accepts_name_config_or_chip(self):
+        chip = NeuraChip("Tile-4")
+        assert Session(chip).chip is chip
+        assert Session("Tile-4").chip.config.name == "Tile-4"
+        assert Session(chip.config).chip.config is chip.config
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            Session("Tile-4", backend="quantum")
+
+    def test_unknown_executor_fails_fast(self):
+        with pytest.raises(ValueError, match="registered executors"):
+            Session("Tile-4", executor="gpu")
+
+    def test_unknown_impl_fails_fast(self):
+        with pytest.raises(ValueError, match="impl"):
+            Session("Tile-4", impl="fortran")
+
+    def test_bad_cache_dir_rejected(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("x")
+        with pytest.raises(ValueError, match="not a directory"):
+            Session("Tile-4", cache_dir=blocker)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            Session("Tile-4", executor="thread", workers=0)
+
+    def test_executor_registry_lists_builtins(self):
+        assert {"serial", "thread", "process"} <= set(available_executors())
+        with pytest.raises(ValueError, match="registered executors"):
+            get_executor("warp")
+
+    def test_context_manager_closes(self, wiki):
+        with Session("Tile-4", backend="analytic") as session:
+            assert session.run(SpGEMMSpec(a=wiki)).metrics["cycles"] > 0
+
+
+class TestRunSpGEMM:
+    def test_matches_legacy_single_call(self, analytic_session, wiki):
+        result = analytic_session.run(SpGEMMSpec(a=wiki, label="w"))
+        chip = NeuraChip("Tile-4")
+        with pytest.deprecated_call():
+            legacy = chip.run_spgemm(wiki, backend="analytic")
+        assert result.metrics["cycles"] == legacy.report.cycles
+        assert result.metrics["partial_products"] == \
+            legacy.program.total_partial_products
+        assert result.metrics["output_nnz"] == legacy.output.nnz
+        assert np.allclose(result.output.to_dense(), legacy.output.to_dense())
+
+    def test_provenance_recorded(self, analytic_session, wiki):
+        result = analytic_session.run(SpGEMMSpec(a=wiki))
+        prov = result.provenance
+        assert prov.backend == "analytic"
+        assert prov.executor == "serial"
+        assert prov.config == "Tile-4"
+        assert prov.wall_time_s > 0
+
+    def test_session_cache_hits_across_runs(self, wiki):
+        with Session("Tile-4", backend="analytic") as session:
+            first = session.run(SpGEMMSpec(a=wiki))
+            second = session.run(SpGEMMSpec(a=wiki))
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+
+    def test_as_row_drops_none_fields(self, wiki):
+        with Session("Tile-4", backend="analytic") as session:
+            row = session.run(SpGEMMSpec(a=wiki)).as_row()
+        assert None not in row.values()  # analytic: verified is None -> dropped
+        assert "verified" not in row
+        assert row["cache_hit"] is False
+        assert "wall_time_s" in row
+
+    def test_spec_validation(self, wiki):
+        with pytest.raises(ValueError, match="operand 'a'"):
+            SpGEMMSpec()
+        with pytest.raises(ValueError, match="shards"):
+            SpGEMMSpec(a=wiki, shards=0)
+
+    def test_unsupported_spec_type_rejected(self, analytic_session):
+        with pytest.raises(TypeError, match="unsupported spec"):
+            analytic_session.run(types.SimpleNamespace())
+
+
+class TestSharding:
+    def test_planner_covers_all_rows(self, wiki):
+        ranges = plan_row_shards(wiki, 4)
+        assert ranges[0][0] == 0 and ranges[-1][1] == wiki.shape[0]
+        for (_, prev_hi), (lo, hi) in zip(ranges, ranges[1:]):
+            assert lo == prev_hi
+            assert hi > lo
+
+    def test_planner_clamps_to_row_count(self, wiki):
+        ranges = plan_row_shards(wiki.row_slice(0, 3), 16)
+        assert len(ranges) == 3
+
+    def test_row_slices_reassemble(self, wiki):
+        ranges = plan_row_shards(wiki, 5)
+        stacked = csr_vstack([wiki.row_slice(lo, hi) for lo, hi in ranges])
+        assert np.array_equal(stacked.to_dense(), wiki.to_dense())
+
+    def test_sharded_matches_unsharded(self, analytic_session, wiki):
+        whole = analytic_session.run(SpGEMMSpec(a=wiki, label="whole"))
+        sharded = analytic_session.run(SpGEMMSpec(a=wiki, shards=4,
+                                                  label="sharded"))
+        assert sharded.provenance.shards == 4
+        assert len(sharded.shard_results) == 4
+        assert sharded.metrics["output_nnz"] == whole.metrics["output_nnz"]
+        assert sharded.metrics["partial_products"] == \
+            whole.metrics["partial_products"]
+        assert np.allclose(sharded.output.to_dense(), whole.output.to_dense())
+
+    def test_sharded_distinct_b_operand(self, analytic_session, wiki, facebook):
+        whole = analytic_session.run(SpGEMMSpec(a=wiki, b=facebook))
+        sharded = analytic_session.run(SpGEMMSpec(a=wiki, b=facebook,
+                                                  shards=3))
+        assert np.allclose(sharded.output.to_dense(), whole.output.to_dense())
+
+    def test_sharded_on_cycle_backend_verifies(self, wiki):
+        with Session("Tile-4", backend="cycle") as session:
+            sharded = session.run(SpGEMMSpec(a=wiki, shards=2, verify=True))
+        assert sharded.metrics["verified"] is True
+        dense = wiki.to_dense()
+        assert np.allclose(sharded.output.to_dense(), dense @ dense)
+
+
+class TestMapAndSubmit:
+    def test_map_preserves_order(self, analytic_session, wiki, facebook):
+        specs = [SpGEMMSpec(a=wiki, label="a"),
+                 SpGEMMSpec(a=facebook, label="b"),
+                 SpGEMMSpec(a=wiki, label="c")]
+        results = analytic_session.map(specs)
+        assert [r.label for r in results] == ["a", "b", "c"]
+
+    def test_submit_returns_future(self, analytic_session, wiki):
+        future = analytic_session.submit(SpGEMMSpec(a=wiki, label="async"))
+        result = future.result()
+        assert isinstance(result, RunResult)
+        assert result.label == "async"
+
+    def test_thread_executor_matches_serial(self, wiki, facebook):
+        specs = [SpGEMMSpec(a=m, label=str(i), verify=False)
+                 for i, m in enumerate([wiki, facebook, wiki, facebook])]
+        with Session("Tile-4", backend="analytic") as serial:
+            expected = serial.map(specs)
+        with Session("Tile-4", backend="analytic", executor="thread",
+                     workers=2) as threaded:
+            observed = threaded.map(specs)
+        for want, got in zip(expected, observed):
+            assert want.metrics == got.metrics
+
+    def test_process_executor_matches_serial(self, wiki):
+        specs = [SpGEMMSpec(a=wiki, label=str(i)) for i in range(2)]
+        with Session("Tile-4", backend="analytic") as serial:
+            expected = serial.map(specs)
+        with Session("Tile-4", backend="analytic", executor="process",
+                     workers=2) as procs:
+            observed = procs.map(specs)
+        for want, got in zip(expected, observed):
+            assert want.metrics["cycles"] == got.metrics["cycles"]
+            assert want.metrics["output_nnz"] == got.metrics["output_nnz"]
+            assert np.allclose(want.output.to_dense(), got.output.to_dense())
+        # Cross-process results carry count digests, not macro-op streams.
+        assert observed[0].program.n_instructions == \
+            expected[0].program.n_instructions
+
+    def test_sharded_submit_on_saturated_pool_does_not_deadlock(self, wiki):
+        # Regression: the sharded fan-out used to re-enter the session's own
+        # pool and block on results, deadlocking once the pool was full.
+        with Session("Tile-4", backend="analytic", executor="thread",
+                     workers=1) as session:
+            future = session.submit(SpGEMMSpec(a=wiki, shards=2))
+            result = future.result(timeout=60)
+        assert result.provenance.shards == 2
+
+    def test_batch_of_sharded_specs_does_not_deadlock(self, wiki):
+        specs = [SpGEMMSpec(a=wiki, shards=2, label=str(i)) for i in range(2)]
+        with Session("Tile-4", backend="analytic", executor="thread",
+                     workers=2) as session:
+            result = session.run(BatchSpec(specs=specs))
+        assert result.legacy.n_jobs == 2
+
+    @pytest.mark.skipif(len(os.sched_getaffinity(0)) < 2,
+                        reason="needs >= 2 CPU cores to beat serial")
+    def test_process_executor_beats_serial_on_16_jobs(self):
+        mats = [load_dataset("wiki-Vote", max_nodes=160, seed=s).adjacency_csr()
+                for s in range(16)]
+        specs = [SpGEMMSpec(a=m, label=str(i), verify=False)
+                 for i, m in enumerate(mats)]
+        with Session("Tile-4", backend="analytic") as serial:
+            start = time.perf_counter()
+            serial.map(specs)
+            serial_wall = time.perf_counter() - start
+        with Session("Tile-4", backend="analytic", executor="process",
+                     workers=2) as procs:
+            procs.map(specs[:1])  # warm the pool outside the timed region
+            start = time.perf_counter()
+            procs.map(specs)
+            process_wall = time.perf_counter() - start
+        assert process_wall < serial_wall
+
+
+class TestGCNAndSweepSpecs:
+    def test_gcn_layer_matches_legacy(self):
+        dataset = load_dataset("cora", max_nodes=80, seed=6)
+        with Session("Tile-4", backend="analytic") as session:
+            result = session.run(GCNLayerSpec(dataset=dataset, feature_dim=8,
+                                              hidden_dim=4))
+        chip = NeuraChip("Tile-4")
+        with pytest.deprecated_call():
+            legacy = chip.run_gcn_layer(dataset, feature_dim=8, hidden_dim=4,
+                                        backend="analytic")
+        assert result.metrics["total_cycles"] == \
+            pytest.approx(round(legacy.total_cycles, 1))
+        assert np.allclose(result.output, legacy.output)
+        assert result.legacy.metadata == {"feature_dim": 8, "hidden_dim": 4}
+
+    def test_gcn_aggregation_program_cached(self):
+        dataset = load_dataset("cora", max_nodes=64, seed=6)
+        with Session("Tile-4", backend="analytic") as session:
+            first = session.run(GCNLayerSpec(dataset=dataset, feature_dim=8,
+                                             hidden_dim=4))
+            second = session.run(GCNLayerSpec(dataset=dataset, feature_dim=8,
+                                              hidden_dim=4))
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+
+    def test_sweep_matches_legacy(self, wiki):
+        with Session("Tile-4", backend="analytic") as session:
+            result = session.run(SweepSpec(a=wiki,
+                                           configs=("Tile-4", "Tile-16")))
+        table = result.legacy
+        assert set(table) == {"Tile-4", "Tile-16"}
+        for metric, value in table["Tile-4"].items():
+            assert value == pytest.approx(1.0), metric
+
+    def test_sweep_functional_backend_rejected(self, wiki):
+        with Session("Tile-4", backend="functional") as session:
+            with pytest.raises(ValueError, match="no timing report"):
+                session.run(SweepSpec(a=wiki, configs=("Tile-4",)))
+
+    def test_sweep_spec_validation(self, wiki):
+        with pytest.raises(ValueError, match="on_missing_base"):
+            SweepSpec(a=wiki, on_missing_base="ignore")
+
+
+class TestBatchSpec:
+    def test_batch_report_rows_and_summary(self, wiki):
+        specs = [SpGEMMSpec(a=wiki, label=f"req-{i}", verify=False)
+                 for i in range(3)]
+        with Session("Tile-4", backend="analytic") as session:
+            result = session.run(BatchSpec(specs=specs))
+        report = result.legacy
+        assert report.n_jobs == 3
+        assert report.cache_hits == 2
+        rows = report.as_rows()
+        assert rows[0]["cache_hit"] is False
+        assert rows[1]["cache_hit"] is True
+        assert all("wall_time_s" in row for row in rows)
+        summary = report.summary()
+        assert summary["cache_hits"] == 2
+        assert summary["executor"] == "serial"
+        assert summary["wall_time_s"] > 0
+
+    def test_batch_spec_rejects_foreign_members(self, wiki):
+        with pytest.raises(TypeError, match="SpGEMMSpec"):
+            BatchSpec(specs=[SweepSpec(a=wiki)])
+
+
+class TestPersistentCache:
+    def test_second_session_hits_disk(self, tmp_path, wiki):
+        with Session("Tile-4", backend="analytic",
+                     cache_dir=tmp_path) as cold:
+            first = cold.run(SpGEMMSpec(a=wiki))
+        with Session("Tile-4", backend="analytic",
+                     cache_dir=tmp_path) as warm:
+            second = warm.run(SpGEMMSpec(a=wiki))
+            stats = warm.cache_stats()
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert stats["disk_hits"] == 1
+        assert first.metrics == second.metrics
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, wiki):
+        with Session("Tile-4", backend="analytic",
+                     cache_dir=tmp_path) as session:
+            session.run(SpGEMMSpec(a=wiki))
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"corrupt")
+        with Session("Tile-4", backend="analytic",
+                     cache_dir=tmp_path) as session:
+            result = session.run(SpGEMMSpec(a=wiki))
+        assert result.cache_hit is False
+
+    def test_disk_entries_survive_pickle_round_trip(self, tmp_path, wiki):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        chip = NeuraChip("Tile-4")
+        key = cache.key(wiki, None, 4)
+        program = chip.compile(wiki, tile_size=4)
+        cache.put(key, program)
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        loaded = fresh.get(key)
+        assert loaded is not None
+        assert loaded.n_instructions == program.n_instructions
+        assert pickle.dumps(loaded.digest())  # digests stay picklable
+
+
+class TestFingerprint:
+    def test_dtype_changes_fingerprint(self):
+        base = types.SimpleNamespace(
+            indptr=np.array([0, 1], dtype=np.int64),
+            indices=np.array([0], dtype=np.int64),
+            data=np.zeros(1, dtype=np.float64),
+            shape=(1, 1))
+        twin = types.SimpleNamespace(
+            indptr=base.indptr, indices=base.indices,
+            data=np.zeros(1, dtype=np.int64),  # same bytes, other dtype
+            shape=(1, 1))
+        assert base.data.tobytes() == twin.data.tobytes()
+        assert matrix_fingerprint(base) != matrix_fingerprint(twin)
+
+    def test_schema_version_in_key(self, wiki):
+        from repro.core.runner import CACHE_SCHEMA_VERSION
+
+        cache = ProgramCache()
+        key = cache.key(wiki, None, 4)
+        assert key[0] == CACHE_SCHEMA_VERSION
+        assert cache.key(wiki, None, 4, kind="gcn") != key
