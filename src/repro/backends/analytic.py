@@ -104,10 +104,24 @@ class AnalyticBackend(ExecutionBackend):
         nnz = program.output_nnz
         ppn = pp / n_mmh if n_mmh else 0.0
 
-        # One cheap pass over the macro-ops for operand-size totals; this
-        # never expands HACCs, so it stays O(instructions).
-        sum_na = sum(len(op.a_rows) for op in program.mmh_ops)
-        sum_nb = sum(len(op.b_cols) for op in program.mmh_ops)
+        # Operand-size totals and the rolling-counter (tag) histogram come
+        # straight from the columnar program arrays — one vectorized
+        # reduction each, no macro-op materialization.  Legacy loop-built
+        # programs fall back to a cheap pass over the macro-ops.
+        arrays = getattr(program, "arrays", None)
+        if arrays is not None:
+            sum_na = arrays.sum_na
+            sum_nb = arrays.sum_nb
+            counts = arrays.out_counts
+            counter_mean = float(counts.mean()) if counts.size else 0.0
+            counter_max = int(counts.max()) if counts.size else 0
+        else:
+            sum_na = sum(len(op.a_rows) for op in program.mmh_ops)
+            sum_nb = sum(len(op.b_cols) for op in program.mmh_ops)
+            counter_values = list(program.counters.values())
+            counter_mean = (sum(counter_values) / len(counter_values)
+                            if counter_values else 0.0)
+            counter_max = max(counter_values, default=0)
 
         cores = max(1, config.total_cores)
         mems = max(1, config.total_mems)
@@ -205,6 +219,8 @@ class AnalyticBackend(ExecutionBackend):
             counters={"analytic.binding_bound": binding,
                       "analytic.sum_na": sum_na,
                       "analytic.sum_nb": sum_nb,
+                      "analytic.counter_mean": round(counter_mean, 3),
+                      "analytic.counter_max": counter_max,
                       **{f"analytic.bound.{k}": round(v, 1)
                          for k, v in bounds.items()}},
         )

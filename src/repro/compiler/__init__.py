@@ -5,6 +5,15 @@ matrix (CSC) and the feature matrix (CSR), runs a symbolic pass to obtain the
 rolling-eviction counters, lays the operands out in a virtual HBM address
 space, and emits a stream of MMH macro-operations, each of which expands to up
 to ``tile_size**2`` HACC operations at execution time.
+
+The production pipeline is columnar end to end: the symbolic pass yields
+CSR-shaped counter arrays, the lowering computes every tile expansion and
+operand address with vectorized index arithmetic, and the resulting
+:class:`~repro.compiler.program.ProgramArrays` payload materializes
+:class:`~repro.compiler.program.MMHMacroOp` objects lazily.  The original
+loop lowering survives as :func:`~repro.compiler.lowering.compile_spgemm_loop`,
+the executable specification the columnar path is tested byte-for-byte
+against.
 """
 
 from repro.compiler.program import (
@@ -12,14 +21,23 @@ from repro.compiler.program import (
     HACCMacroOp,
     MMHMacroOp,
     Program,
+    ProgramArrays,
+    ProgramDigest,
 )
-from repro.compiler.lowering import compile_spgemm, compile_gcn_aggregation
+from repro.compiler.lowering import (
+    compile_gcn_aggregation,
+    compile_spgemm,
+    compile_spgemm_loop,
+)
 
 __all__ = [
     "AddressMap",
     "MMHMacroOp",
     "HACCMacroOp",
     "Program",
+    "ProgramArrays",
+    "ProgramDigest",
     "compile_spgemm",
+    "compile_spgemm_loop",
     "compile_gcn_aggregation",
 ]

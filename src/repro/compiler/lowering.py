@@ -13,6 +13,19 @@ lived: every contribution to an output element arrives while its row group is
 being processed, so the rolling-eviction counter reaches zero quickly and the
 HashPad stays small.  A symbolic pass provides the rolling counters placed in
 memory for the NeuraCores to read (Algorithm 1, line 6).
+
+Two compilers share this lowering contract:
+
+* :func:`compile_spgemm` — the production path.  Row-group/tile expansion,
+  operand offsets, output-slot assignment and rolling-counter addresses are
+  all computed with ``np.repeat`` / ``cumsum`` / ``searchsorted`` over the
+  CSR/CSC index arrays (no per-nonzero Python loop), emitting a columnar
+  :class:`~repro.compiler.program.ProgramArrays` payload whose macro-ops
+  materialize lazily.
+* :func:`compile_spgemm_loop` — the original per-row-group Python loops,
+  kept as the executable specification: the columnar compiler must produce
+  byte-identical instruction encodings and identical macro-op streams
+  (asserted by the equivalence test suite and the compiler benchmark).
 """
 
 from __future__ import annotations
@@ -20,25 +33,156 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.isa import MMHInstruction, Opcode
-from repro.compiler.program import AddressMap, ELEMENT_BYTES, MMHMacroOp, Program
+from repro.compiler.program import (
+    AddressMap,
+    ELEMENT_BYTES,
+    MMHMacroOp,
+    Program,
+    ProgramArrays,
+)
 from repro.sparse.convert import csc_to_csr
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.symbolic import symbolic_spgemm_from_csc
+from repro.sparse.symbolic import SymbolicProduct, symbolic_spgemm_from_csc
 
 #: 22-bit register fields of the MMH instruction limit the per-instruction
-#: operand offsets; the compiler re-bases against the 32-bit base address.
+#: operand offsets (Figure 7).
 _OFFSET_LIMIT = (1 << 22) - 1
 
 
-def _clamp_offset(offset: int) -> int:
-    """Fit an operand offset into the 22-bit MMH register field."""
-    return offset & _OFFSET_LIMIT
+def _require_offset(offset: int, operand: str = "operand") -> int:
+    """Validate an operand offset against the 22-bit MMH register field.
+
+    Offsets used to be silently masked (``offset & _OFFSET_LIMIT``), which
+    aliased addresses on operands larger than 4 MiB of laid-out data; now
+    an overflowing offset is a compile error with a remediation hint.
+    """
+    if offset > _OFFSET_LIMIT:
+        raise ValueError(
+            f"{operand} offset {offset} exceeds the 22-bit MMH register "
+            f"field (max {_OFFSET_LIMIT}); the laid-out operands are too "
+            "large for one program's address space.  Row-sharding the "
+            "workload (e.g. SpGEMMSpec(shards=N)) helps when the A/output "
+            "regions dominate the layout; a large B operand is replicated "
+            "into every shard and must be shrunk (fewer columns / sparser "
+            "features) instead")
+    return offset
+
+
+def _check_offset_arrays(**named_arrays: np.ndarray) -> None:
+    """Vectorized overflow check over per-op address columns."""
+    for operand, addresses in named_arrays.items():
+        if addresses.size and int(addresses.max()) > _OFFSET_LIMIT:
+            _require_offset(int(addresses.max()), operand)
+
+
+def _lower_columnar(a_csc: CSCMatrix, b_csr: CSRMatrix,
+                    symbolic: SymbolicProduct, address_map: AddressMap,
+                    tile_size: int, opcode: Opcode) -> ProgramArrays:
+    """Vectorized row-group/tile expansion onto the columnar program IR.
+
+    Works entirely on the operand index arrays:
+
+    1. Every A entry (CSC order) is keyed by ``(row_group, k)``; a stable
+       sort groups the entries into *segments* — the contiguous run of
+       column ``k`` that falls inside one row group, exactly the A-tile the
+       loop lowering builds row by row.
+    2. Each segment fans out into ``ceil(nb[k] / tile_size)`` ops via
+       ``np.repeat`` with a cumulative-offset tile index (the same
+       expansion the SpGEMM kernels use for partial products).
+    3. Rolling-counter addresses resolve through one ``searchsorted`` of
+       each op's first (row, col) pair against the symbolic slot order.
+    """
+    n_inner = a_csc.shape[1]
+    n_cols = b_csr.shape[1]
+    a_nnz = a_csc.nnz
+    int_like = np.int64
+
+    # --- 1. (row_group, k) segments of A ------------------------------
+    e_k = np.repeat(np.arange(n_inner, dtype=int_like),
+                    a_csc.col_nnz_counts())
+    e_group = a_csc.indices // tile_size
+    order = np.argsort(e_group * n_inner + e_k, kind="stable")
+    sorted_key = (e_group * n_inner + e_k)[order]
+    if a_nnz:
+        boundaries = np.empty(a_nnz, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=boundaries[1:])
+        seg_starts = np.flatnonzero(boundaries)
+    else:
+        seg_starts = np.zeros(0, dtype=int_like)
+    seg_lens = np.diff(np.append(seg_starts, a_nnz))
+    # Within a column the rows are sorted, so a (group, k) segment is a
+    # contiguous run of the CSC column; its first sorted element's original
+    # position IS the operand offset of the whole A-tile.
+    seg_pos = order[seg_starts]
+    seg_k = e_k[seg_pos]
+    seg_group = e_group[seg_pos]
+
+    # --- 2. fan segments out into B tiles -----------------------------
+    nb = b_csr.row_nnz_counts()
+    seg_nb = nb[seg_k]
+    keep = seg_nb > 0
+    seg_pos, seg_lens = seg_pos[keep], seg_lens[keep]
+    seg_k, seg_group, seg_nb = seg_k[keep], seg_group[keep], seg_nb[keep]
+    n_b_tiles = -(-seg_nb // tile_size)
+    total_ops = int(n_b_tiles.sum())
+
+    cum_tiles = np.cumsum(n_b_tiles)
+    op_seg = np.repeat(np.arange(seg_k.size, dtype=int_like), n_b_tiles)
+    tile_in_seg = (np.arange(total_ops, dtype=int_like)
+                   - np.repeat(cum_tiles - n_b_tiles, n_b_tiles))
+    op_k = seg_k[op_seg]
+    op_b_lo = b_csr.indptr[op_k] + tile_in_seg * tile_size
+    op_b_hi = np.minimum(op_b_lo + tile_size, b_csr.indptr[op_k + 1])
+    op_a_lo = seg_pos[op_seg]
+    op_a_hi = op_a_lo + seg_lens[op_seg]
+    op_group = seg_group[op_seg]
+
+    op_reseed = np.zeros(total_ops, dtype=bool)
+    if total_ops:
+        np.not_equal(op_group[1:], op_group[:-1], out=op_reseed[:-1])
+        op_reseed[-1] = True
+
+    # --- 3. rolling-counter slots and operand addresses ----------------
+    flat_keys = symbolic.flat_keys()
+    first_flat = a_csc.indices[op_a_lo] * n_cols + b_csr.indices[op_b_lo]
+    op_slot = np.searchsorted(flat_keys, first_flat).astype(int_like)
+    op_a_addr = address_map.a_data_base + op_a_lo * ELEMENT_BYTES
+    op_b_col_addr = address_map.b_col_ind_base + op_b_lo * ELEMENT_BYTES
+    op_b_data_addr = address_map.b_data_base + op_b_lo * ELEMENT_BYTES
+    op_counter_addr = address_map.roll_counter_base + op_slot * ELEMENT_BYTES
+    _check_offset_arrays(a_data=op_a_addr, b_col_ind=op_b_col_addr,
+                         b_data=op_b_data_addr, roll_counter=op_counter_addr)
+
+    # Everything stored per-op or per-nonzero fits comfortably in 32 bits
+    # (indices are matrix dimensions, addresses passed the 22-bit check),
+    # so the persisted payload is downcast to halve spill/ship size.
+    narrow = np.int32
+    arrays = ProgramArrays(
+        opcode=opcode, tile_size=tile_size, shape=symbolic.shape,
+        out_indptr=symbolic.indptr,
+        out_indices=symbolic.indices.astype(narrow),
+        out_counts=symbolic.counts.astype(narrow),
+        a_rows=a_csc.indices.astype(narrow), a_values=a_csc.data.copy(),
+        b_cols=b_csr.indices.astype(narrow), b_values=b_csr.data.copy(),
+        op_k=op_k.astype(narrow), op_group=op_group.astype(narrow),
+        op_a_lo=op_a_lo.astype(narrow), op_a_hi=op_a_hi.astype(narrow),
+        op_b_lo=op_b_lo.astype(narrow), op_b_hi=op_b_hi.astype(narrow),
+        op_slot=op_slot.astype(narrow), op_reseed=op_reseed,
+        op_a_addr=op_a_addr.astype(narrow),
+        op_b_col_addr=op_b_col_addr.astype(narrow),
+        op_b_data_addr=op_b_data_addr.astype(narrow),
+        op_counter_addr=op_counter_addr.astype(narrow))
+    # The symbolic pass already built the ascending slot-key index; hand it
+    # to the arrays so the first HACC expansion doesn't rebuild it.
+    arrays.__dict__["_flat_cache"] = flat_keys
+    return arrays
 
 
 def compile_spgemm(a_csc: CSCMatrix, b_csr: CSRMatrix, tile_size: int = 4,
                    source: str = "spgemm") -> Program:
-    """Compile C = A @ B into a NeuraChip program.
+    """Compile C = A @ B into a NeuraChip program (columnar IR).
 
     Args:
         a_csc: left operand (adjacency matrix) in CSC.
@@ -47,10 +191,44 @@ def compile_spgemm(a_csc: CSCMatrix, b_csr: CSRMatrix, tile_size: int = 4,
         source: workload label stored in the program metadata.
 
     Returns:
-        A :class:`~repro.compiler.program.Program`.
+        A :class:`~repro.compiler.program.Program` backed by a
+        :class:`~repro.compiler.program.ProgramArrays` payload; macro-ops
+        materialize lazily when a simulator iterates them.
 
     Raises:
-        ValueError: on dimension mismatch or unsupported tile size.
+        ValueError: on dimension mismatch, unsupported tile size, or
+            operand offsets overflowing the 22-bit MMH register fields.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ValueError(f"dimension mismatch: A is {a_csc.shape}, B is {b_csr.shape}")
+    opcode = Opcode.mmh_for_tile(tile_size)
+
+    symbolic = symbolic_spgemm_from_csc(a_csc, b_csr)
+    address_map = AddressMap.layout(a_csc.nnz, b_csr.nnz, symbolic.nnz)
+    arrays = _lower_columnar(a_csc, b_csr, symbolic, address_map,
+                             tile_size, opcode)
+
+    return Program(
+        arrays=arrays,
+        address_map=address_map,
+        shape=symbolic.shape,
+        tile_size=tile_size,
+        a_nnz=a_csc.nnz,
+        b_nnz=b_csr.nnz,
+        total_partial_products=symbolic.total_partial_products,
+        source=source,
+        metadata={"n_row_groups": arrays.n_row_groups},
+    )
+
+
+def compile_spgemm_loop(a_csc: CSCMatrix, b_csr: CSRMatrix, tile_size: int = 4,
+                        source: str = "spgemm") -> Program:
+    """Reference loop compiler (the original per-row-group Python loops).
+
+    Produces a fully materialized program that must match
+    :func:`compile_spgemm` macro-op for macro-op and byte for byte; kept as
+    the executable specification of the lowering and as the baseline of
+    ``benchmarks/bench_compiler.py``.
     """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ValueError(f"dimension mismatch: A is {a_csc.shape}, B is {b_csr.shape}")
@@ -99,13 +277,16 @@ def compile_spgemm(a_csc: CSCMatrix, b_csr: CSRMatrix, tile_size: int = 4,
                 instruction = MMHInstruction(
                     opcode=opcode,
                     base_addr=0,
-                    a_data_addr=_clamp_offset(address_map.a_data_base + a_base_offset),
-                    b_col_ind_addr=_clamp_offset(address_map.b_col_ind_base
-                                                 + b_base_offset
-                                                 + b_start * ELEMENT_BYTES),
-                    b_data_addr=_clamp_offset(address_map.b_data_base + b_base_offset
-                                              + b_start * ELEMENT_BYTES),
-                    roll_counter_addr=_clamp_offset(counter_addrs[first_key]),
+                    a_data_addr=_require_offset(
+                        address_map.a_data_base + a_base_offset, "a_data"),
+                    b_col_ind_addr=_require_offset(
+                        address_map.b_col_ind_base + b_base_offset
+                        + b_start * ELEMENT_BYTES, "b_col_ind"),
+                    b_data_addr=_require_offset(
+                        address_map.b_data_base + b_base_offset
+                        + b_start * ELEMENT_BYTES, "b_data"),
+                    roll_counter_addr=_require_offset(
+                        counter_addrs[first_key], "roll_counter"),
                 )
                 group_ops.append(MMHMacroOp(
                     opcode=opcode, k=k,

@@ -5,11 +5,22 @@ the architectural fields (operand addresses, as encoded by
 :mod:`repro.arch.isa`) and the semantic payload (the actual operand values)
 so that the simulation can verify numerical correctness of the accelerator
 output against a software reference.
+
+Programs are stored *columnar*: the compiler emits a
+:class:`ProgramArrays` structure-of-arrays payload (per-op operand slices,
+addresses and output-slot indices, plus the CSR-shaped symbolic output
+structure), and the familiar :class:`MMHMacroOp` objects are materialized
+lazily — only when the cycle/functional simulators actually iterate them.
+Count-only consumers (the analytic backend, report rows, cache
+fingerprints) read the arrays directly and never pay for materialization;
+pickling a columnar program (disk cache spill, cross-process shipping)
+serialises only the arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -20,6 +31,7 @@ from repro.arch.isa import (
     encode_hacc,
     encode_mmh,
 )
+from repro.sparse.symbolic import row_per_slot
 
 #: Bytes per matrix element in the virtual HBM layout (fp32 value or int32 index).
 ELEMENT_BYTES = 4
@@ -169,6 +181,187 @@ class MMHMacroOp:
         return encode_mmh(self.instruction)
 
 
+@dataclass
+class ProgramArrays:
+    """Columnar (structure-of-arrays) payload of a compiled program.
+
+    All per-op columns have length ``n_ops`` and are aligned with program
+    order; operand payloads are stored once as flat arrays that the ops
+    slice into, so the whole program costs O(a_nnz + b_nnz + output_nnz +
+    n_ops) memory, pickles as a handful of numpy buffers, and every
+    aggregate a consumer needs (op counts, operand sizes, tag/counter
+    histograms) is one vectorized reduction away.
+
+    Attributes:
+        opcode: MMH opcode variant shared by every op.
+        tile_size: MMH tile size the program was compiled for.
+        shape: shape of the output matrix C.
+        out_indptr / out_indices / out_counts: CSR-shaped symbolic output
+            structure (canonical row-major slot order; slot ``s`` is output
+            element ``(row, out_indices[s])`` with rolling counter
+            ``out_counts[s]``).
+        a_rows / a_values: A operand entries in CSC order (row index and
+            value per non-zero).
+        b_cols / b_values: B operand entries in CSR order (column index and
+            value per non-zero).
+        op_k: shared inner index per op.
+        op_group: row-group index per op (``min(a_rows) // tile_size``).
+        op_a_lo / op_a_hi: per-op A-tile slice into ``a_rows`` / ``a_values``.
+        op_b_lo / op_b_hi: per-op B-tile slice into ``b_cols`` / ``b_values``.
+        op_slot: output slot of the op's first (row, col) pair — the slot
+            its rolling-counter address points at.
+        op_reseed: True on the last op of each row group (DRHM reseed).
+        op_a_addr / op_b_col_addr / op_b_data_addr / op_counter_addr:
+            architectural operand addresses per op (Figure 7 register
+            fields, already validated against the 22-bit limit).
+    """
+
+    opcode: Opcode
+    tile_size: int
+    shape: tuple[int, int]
+    out_indptr: np.ndarray
+    out_indices: np.ndarray
+    out_counts: np.ndarray
+    a_rows: np.ndarray
+    a_values: np.ndarray
+    b_cols: np.ndarray
+    b_values: np.ndarray
+    op_k: np.ndarray
+    op_group: np.ndarray
+    op_a_lo: np.ndarray
+    op_a_hi: np.ndarray
+    op_b_lo: np.ndarray
+    op_b_hi: np.ndarray
+    op_slot: np.ndarray
+    op_reseed: np.ndarray
+    op_a_addr: np.ndarray
+    op_b_col_addr: np.ndarray
+    op_b_data_addr: np.ndarray
+    op_counter_addr: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Aggregates (no materialization)
+    # ------------------------------------------------------------------
+    @property
+    def n_ops(self) -> int:
+        return int(self.op_k.size)
+
+    @property
+    def output_nnz(self) -> int:
+        return int(self.out_indices.size)
+
+    @property
+    def n_row_groups(self) -> int:
+        """Row groups that issued at least one op (reseed boundaries)."""
+        return int(np.count_nonzero(self.op_reseed))
+
+    @property
+    def sum_na(self) -> int:
+        """Total A-tile elements across ops (operand fetch accounting)."""
+        return int((self.op_a_hi - self.op_a_lo).sum())
+
+    @property
+    def sum_nb(self) -> int:
+        """Total B-tile elements across ops (operand fetch accounting)."""
+        return int((self.op_b_hi - self.op_b_lo).sum())
+
+    @property
+    def partial_products_per_op(self) -> np.ndarray:
+        """HACCs each op dispatches (``n_a * n_b``), as an array."""
+        return (self.op_a_hi - self.op_a_lo) * (self.op_b_hi - self.op_b_lo)
+
+    def counter_histogram(self) -> np.ndarray:
+        """Histogram of rolling-counter values across output tags
+        (``hist[c]`` = tags that accumulate exactly ``c`` partial
+        products) — the per-tag work distribution, straight from the
+        symbolic arrays."""
+        if self.out_counts.size == 0:
+            return np.zeros(1, dtype=np.int64)
+        return np.bincount(self.out_counts)
+
+    def row_tag_counts(self) -> np.ndarray:
+        """Output tags per output row (the tag histogram across rows)."""
+        return np.diff(self.out_indptr)
+
+    # ------------------------------------------------------------------
+    # Slot lookup
+    # ------------------------------------------------------------------
+    def _flat_keys(self) -> np.ndarray:
+        """Ascending flattened output coordinates, cached per instance
+        (the lowering seeds this cache with the symbolic pass's array)."""
+        cached = self.__dict__.get("_flat_cache")
+        if cached is None:
+            cached = (row_per_slot(self.out_indptr, self.shape[0])
+                      * self.shape[1] + self.out_indices)
+            self.__dict__["_flat_cache"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Lazy materialization
+    # ------------------------------------------------------------------
+    def materialize(self, index: int) -> MMHMacroOp:
+        """Build the :class:`MMHMacroOp` object for one program position."""
+        a_lo, a_hi = int(self.op_a_lo[index]), int(self.op_a_hi[index])
+        b_lo, b_hi = int(self.op_b_lo[index]), int(self.op_b_hi[index])
+        instruction = MMHInstruction(
+            opcode=self.opcode,
+            base_addr=0,
+            a_data_addr=int(self.op_a_addr[index]),
+            b_col_ind_addr=int(self.op_b_col_addr[index]),
+            b_data_addr=int(self.op_b_data_addr[index]),
+            roll_counter_addr=int(self.op_counter_addr[index]),
+        )
+        return MMHMacroOp(
+            opcode=self.opcode,
+            k=int(self.op_k[index]),
+            a_rows=tuple(self.a_rows[a_lo:a_hi].tolist()),
+            a_values=tuple(self.a_values[a_lo:a_hi].tolist()),
+            b_cols=tuple(self.b_cols[b_lo:b_hi].tolist()),
+            b_values=tuple(self.b_values[b_lo:b_hi].tolist()),
+            instruction=instruction,
+            reseed_after=bool(self.op_reseed[index]),
+            sequence=index,
+        )
+
+    def iter_ops(self) -> Iterator[MMHMacroOp]:
+        """Generate macro-ops in program order without retaining them."""
+        for index in range(self.n_ops):
+            yield self.materialize(index)
+
+    def expand_haccs(self, mmh: MMHMacroOp,
+                     address_map: AddressMap) -> list[HACCMacroOp]:
+        """Expand one MMH into HACC macro-ops, resolving counters and
+        write-back addresses through the symbolic arrays (no dict views)."""
+        n_cols = self.shape[1]
+        a_rows = np.asarray(mmh.a_rows, dtype=np.int64)
+        b_cols = np.asarray(mmh.b_cols, dtype=np.int64)
+        flat = (a_rows[:, None] * n_cols + b_cols[None, :]).ravel()
+        slots = np.searchsorted(self._flat_keys(), flat)
+        counters = self.out_counts[slots].tolist()
+        writebacks = (address_map.output_base
+                      + slots * ELEMENT_BYTES).tolist()
+        haccs = []
+        position = 0
+        for i, av in zip(mmh.a_rows, mmh.a_values):
+            for j, bv in zip(mmh.b_cols, mmh.b_values):
+                haccs.append(HACCMacroOp(
+                    tag=(i * n_cols + j) & 0xFFFFFFFF,
+                    value=av * bv,
+                    counter=counters[position],
+                    out_row=i,
+                    out_col=j,
+                    writeback_addr=writebacks[position],
+                ))
+                position += 1
+        return haccs
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_flat_cache", None)
+        return state
+
+
 @dataclass(frozen=True)
 class ProgramDigest:
     """Count-level summary of a compiled program.
@@ -203,14 +396,17 @@ class ProgramDigest:
         return self
 
 
-@dataclass
 class Program:
     """A compiled NeuraChip program.
 
+    Holds either a columnar :class:`ProgramArrays` payload (the compiler's
+    native output — macro-ops, counter dicts and address dicts are
+    materialized lazily, and only on demand) or the fully materialized
+    legacy representation (macro-op list plus counter / address dicts, as
+    the reference loop compiler produces).
+
     Attributes:
-        mmh_ops: the MMH macro-op stream in program order.
-        counters: rolling counter per output coordinate.
-        output_addrs: HBM write-back address per output coordinate.
+        arrays: columnar payload, or ``None`` for legacy programs.
         address_map: operand layout in HBM.
         shape: shape of the output matrix C.
         tile_size: MMH tile size the program was compiled for.
@@ -219,27 +415,103 @@ class Program:
         source: human-readable description of the workload.
     """
 
-    mmh_ops: list[MMHMacroOp]
-    counters: dict[tuple[int, int], int]
-    output_addrs: dict[tuple[int, int], int]
-    address_map: AddressMap
-    shape: tuple[int, int]
-    tile_size: int
-    a_nnz: int
-    b_nnz: int
-    total_partial_products: int
-    source: str = ""
-    metadata: dict = field(default_factory=dict)
+    def __init__(self, mmh_ops: list[MMHMacroOp] | None = None,
+                 counters: dict[tuple[int, int], int] | None = None,
+                 output_addrs: dict[tuple[int, int], int] | None = None,
+                 address_map: AddressMap | None = None,
+                 shape: tuple[int, int] = (0, 0),
+                 tile_size: int = 4,
+                 a_nnz: int = 0,
+                 b_nnz: int = 0,
+                 total_partial_products: int = 0,
+                 source: str = "",
+                 metadata: dict | None = None,
+                 arrays: ProgramArrays | None = None) -> None:
+        if arrays is None and (mmh_ops is None or counters is None
+                               or output_addrs is None):
+            raise ValueError("Program needs either a columnar `arrays` "
+                             "payload or the fully materialized legacy "
+                             "triple (`mmh_ops` + `counters` + "
+                             "`output_addrs`)")
+        if arrays is not None and address_map is None:
+            raise ValueError("a columnar Program needs its `address_map` "
+                             "to resolve write-back addresses")
+        self.arrays = arrays
+        self.address_map = address_map
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.tile_size = tile_size
+        self.a_nnz = a_nnz
+        self.b_nnz = b_nnz
+        self.total_partial_products = total_partial_products
+        self.source = source
+        self.metadata = dict(metadata) if metadata else {}
+        self._mmh_ops: list[MMHMacroOp] | None = \
+            list(mmh_ops) if mmh_ops is not None else None
+        self._counters: dict[tuple[int, int], int] | None = \
+            dict(counters) if counters is not None else None
+        self._output_addrs: dict[tuple[int, int], int] | None = \
+            dict(output_addrs) if output_addrs is not None else None
 
+    # ------------------------------------------------------------------
+    # Lazy views over the columnar payload
+    # ------------------------------------------------------------------
+    @property
+    def mmh_ops(self) -> list[MMHMacroOp]:
+        """The MMH macro-op stream in program order (materialized on first
+        access for columnar programs, then cached)."""
+        if self._mmh_ops is None:
+            self._mmh_ops = list(self.arrays.iter_ops())
+        return self._mmh_ops
+
+    def iter_mmh_ops(self) -> Iterator[MMHMacroOp]:
+        """Iterate macro-ops in program order without caching the list —
+        the view the simulators consume."""
+        if self._mmh_ops is not None:
+            yield from self._mmh_ops
+        elif self.arrays is not None:
+            yield from self.arrays.iter_ops()
+
+    @property
+    def counters(self) -> dict[tuple[int, int], int]:
+        """Rolling counter per output coordinate (lazy dict view)."""
+        if self._counters is None:
+            arrays = self.arrays
+            rows = row_per_slot(arrays.out_indptr, arrays.shape[0])
+            self._counters = dict(zip(
+                zip(rows.tolist(), arrays.out_indices.tolist()),
+                arrays.out_counts.tolist()))
+        return self._counters
+
+    @property
+    def output_addrs(self) -> dict[tuple[int, int], int]:
+        """HBM write-back address per output coordinate (lazy dict view)."""
+        if self._output_addrs is None:
+            arrays = self.arrays
+            rows = row_per_slot(arrays.out_indptr, arrays.shape[0])
+            base = self.address_map.output_base
+            addrs = base + np.arange(arrays.output_nnz,
+                                     dtype=np.int64) * ELEMENT_BYTES
+            self._output_addrs = dict(zip(
+                zip(rows.tolist(), arrays.out_indices.tolist()),
+                addrs.tolist()))
+        return self._output_addrs
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     @property
     def n_instructions(self) -> int:
         """Number of MMH instructions."""
-        return len(self.mmh_ops)
+        if self.arrays is not None:
+            return self.arrays.n_ops
+        return len(self._mmh_ops)
 
     @property
     def output_nnz(self) -> int:
         """Number of non-zeros in the output matrix."""
-        return len(self.counters)
+        if self.arrays is not None:
+            return self.arrays.output_nnz
+        return len(self._counters)
 
     @property
     def bloat_percent(self) -> float:
@@ -265,14 +537,19 @@ class Program:
             b_nnz=self.b_nnz,
             source=self.source)
 
+    # ------------------------------------------------------------------
+    # Expansion and reference semantics
+    # ------------------------------------------------------------------
     def expand_haccs(self, mmh: MMHMacroOp) -> list[HACCMacroOp]:
         """Expand one MMH of this program into its HACC macro-ops."""
-        return mmh.expand(self.counters, self.shape[1], self.output_addrs)
+        if self.arrays is not None:
+            return self.arrays.expand_haccs(mmh, self.address_map)
+        return mmh.expand(self._counters, self.shape[1], self._output_addrs)
 
     def reference_result(self) -> np.ndarray:
         """Dense reference of the output computed from the macro-op stream."""
         dense = np.zeros(self.shape, dtype=np.float64)
-        for mmh in self.mmh_ops:
+        for mmh in self.iter_mmh_ops():
             for hacc in self.expand_haccs(mmh):
                 dense[hacc.out_row, hacc.out_col] += hacc.value
         return dense
@@ -280,7 +557,7 @@ class Program:
     def encode_binary(self) -> bytes:
         """Serialise the MMH stream to the 128-bit binary format."""
         blob = bytearray()
-        for op in self.mmh_ops:
+        for op in self.iter_mmh_ops():
             blob.extend(op.encode().to_bytes(16, "little"))
         return bytes(blob)
 
@@ -293,7 +570,7 @@ class Program:
         """
         per_tag_counts: dict[tuple[int, int], int] = {}
         total = 0
-        for mmh in self.mmh_ops:
+        for mmh in self.iter_mmh_ops():
             for hacc in self.expand_haccs(mmh):
                 key = (hacc.out_row, hacc.out_col)
                 per_tag_counts[key] = per_tag_counts.get(key, 0) + 1
@@ -306,3 +583,23 @@ class Program:
             if count != self.counters[key]:
                 raise AssertionError(f"counter mismatch at {key}: "
                                      f"{count} != {self.counters[key]}")
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle columnar programs as arrays only: the materialized
+        macro-op / dict caches are dropped (they rebuild lazily), so disk
+        spills and cross-process shipments stay operand-sized."""
+        state = self.__dict__.copy()
+        if state.get("arrays") is not None:
+            state["_mmh_ops"] = None
+            state["_counters"] = None
+            state["_output_addrs"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        layout = "columnar" if self.arrays is not None else "materialized"
+        return (f"Program(source={self.source!r}, shape={self.shape}, "
+                f"tile_size={self.tile_size}, "
+                f"n_instructions={self.n_instructions}, "
+                f"partial_products={self.total_partial_products}, "
+                f"layout={layout})")

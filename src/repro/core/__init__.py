@@ -32,7 +32,11 @@ from repro.core.runner import (
     default_cache_dir,
     matrix_fingerprint,
 )
-from repro.core.session import Session, plan_row_shards
+from repro.core.session import (
+    Session,
+    estimate_row_partial_products,
+    plan_row_shards,
+)
 from repro.core.specs import (
     BatchSpec,
     GCNLayerSpec,
@@ -53,6 +57,7 @@ __all__ = [
     "RunResult",
     "Provenance",
     "plan_row_shards",
+    "estimate_row_partial_products",
     "Executor",
     "register_executor",
     "get_executor",

@@ -37,7 +37,10 @@ DEFAULT_CACHE_CAPACITY = 128
 #: bump it whenever the fingerprint inputs, the Program layout, or the
 #: pickle payload change shape, so stale entries from an older release can
 #: never silently collide with (or be served as) current ones.
-CACHE_SCHEMA_VERSION = 2
+#: v3: programs pickle as the columnar ``ProgramArrays`` payload (numpy
+#: buffers) instead of a materialized macro-op list — far smaller spills,
+#: and incompatible with the v2 object graph.
+CACHE_SCHEMA_VERSION = 3
 
 
 def matrix_fingerprint(matrix) -> str:
@@ -285,7 +288,10 @@ class ProgramCache:
                 pickle.dump((CACHE_SCHEMA_VERSION, key, program), handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             tmp.replace(path)  # atomic publish for concurrent writers
-        except OSError:
+        except Exception:
+            # Disk spill is best-effort: I/O errors and unpicklable
+            # payloads (e.g. caller-extended metadata) must not abort the
+            # run, and the partial temp file must not linger.
             tmp.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------

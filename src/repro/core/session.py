@@ -65,9 +65,37 @@ from repro.sparse.kernels import IMPLS
 # ----------------------------------------------------------------------
 # Sharding planner
 # ----------------------------------------------------------------------
-def plan_row_shards(a_csr: CSRMatrix, n_shards: int) -> list[tuple[int, int]]:
+def estimate_row_partial_products(a_csr: CSRMatrix,
+                                  b_csr: CSRMatrix) -> np.ndarray:
+    """Exact partial products each row of A contributes to A @ B.
+
+    Row ``i`` of C accumulates ``sum(nnz(B[k, :]) for k in A[i, :])``
+    partial products — the same per-inner-index counts the columnar
+    symbolic pass reduces over, computed here with one gather and a
+    prefix sum (no symbolic pass, no Python loop).
+    """
+    if a_csr.shape[1] != b_csr.shape[0]:
+        raise ValueError(f"dimension mismatch: A is {a_csr.shape}, "
+                         f"B is {b_csr.shape}")
+    entry_weights = b_csr.row_nnz_counts()[a_csr.indices]
+    prefix = np.zeros(a_csr.nnz + 1, dtype=np.int64)
+    np.cumsum(entry_weights, out=prefix[1:])
+    return prefix[a_csr.indptr[1:]] - prefix[a_csr.indptr[:-1]]
+
+
+def plan_row_shards(a_csr: CSRMatrix, n_shards: int,
+                    b_csr: CSRMatrix | None = None) -> list[tuple[int, int]]:
     """Split the rows of A into ``n_shards`` contiguous groups balanced by
-    non-zero count (a proxy for per-shard partial-product work).
+    per-shard work.
+
+    With ``b_csr`` given, rows are weighted by their *exact* partial-product
+    count (nnz of each A row weighted by the matching B-row sizes — see
+    :func:`estimate_row_partial_products`), which is the quantity that
+    actually determines per-shard compile and execute cost; power-law graphs
+    shard far more evenly this way than under the older nnz-of-A proxy,
+    which remains the fallback when ``b_csr`` is omitted.  Row slices
+    partition the partial products of A @ B exactly, so the reduced result
+    is identical either way.
 
     Returns half-open ``(start, stop)`` row ranges that cover every row
     exactly once; degenerate requests (more shards than rows) are clamped.
@@ -76,7 +104,13 @@ def plan_row_shards(a_csr: CSRMatrix, n_shards: int) -> list[tuple[int, int]]:
     if n_rows == 0:
         raise ValueError("cannot shard an empty matrix")
     n_shards = max(1, min(n_shards, n_rows))
-    cumulative = np.cumsum(a_csr.row_nnz_counts())
+    if b_csr is not None:
+        weights = estimate_row_partial_products(a_csr, b_csr)
+        if int(weights.sum()) == 0:  # structurally empty product
+            weights = a_csr.row_nnz_counts()
+    else:
+        weights = a_csr.row_nnz_counts()
+    cumulative = np.cumsum(weights)
     total = int(cumulative[-1])
     cuts = [0]
     for shard in range(1, n_shards):
@@ -341,7 +375,7 @@ class Session:
         from repro.core.api import SpGEMMRunResult
 
         effective_b = b_csr if b_csr is not None else a_csr
-        ranges = plan_row_shards(a_csr, spec.shards)
+        ranges = plan_row_shards(a_csr, spec.shards, effective_b)
         shard_specs = [
             SpGEMMSpec(a=a_csr.row_slice(lo, hi), b=effective_b,
                        tile_size=spec.tile_size, verify=spec.verify,

@@ -281,7 +281,7 @@ class NeuraChipAccelerator:
         self._build()
         self._program = program
         self._haccs_expected = program.total_partial_products
-        self.dispatcher.load(program.mmh_ops)
+        self.dispatcher.load(program.iter_mmh_ops())
         self.dispatcher.start()
         self.sim.run(max_events=max_events)
         if not self._finalized:

@@ -8,7 +8,7 @@ buffer is full it sleeps until a core retires an instruction.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.compiler.program import MMHMacroOp
 from repro.sim.engine import Simulator
@@ -35,8 +35,12 @@ class Dispatcher:
         self.instructions_issued = 0
 
     # ------------------------------------------------------------------
-    def load(self, ops: Sequence[MMHMacroOp]) -> None:
-        """Load a program's MMH stream for issue."""
+    def load(self, ops: Iterable[MMHMacroOp]) -> None:
+        """Load a program's MMH stream for issue.
+
+        Accepts any iterable (including a columnar program's lazy macro-op
+        view); the stream is materialized here because the cycle simulator
+        re-indexes in-flight instructions by position."""
         self._ops = list(ops)
         self._next_index = 0
         self.instructions_issued = 0

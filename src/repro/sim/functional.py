@@ -77,7 +77,10 @@ class FunctionalAccelerator:
         total = 0
         capacity = config.mem.hashlines
 
-        for op_index, op in enumerate(program.mmh_ops):
+        # The lazy columnar view: ops materialize one at a time and are
+        # dropped after processing, so the functional pass never holds the
+        # full macro-op list.
+        for op_index, op in enumerate(program.iter_mmh_ops()):
             per_core_mmhs[op_index % max(1, n_cores)] += 1
             for hacc in program.expand_haccs(op):
                 total += 1

@@ -5,62 +5,207 @@ per-output-element counter: the number of partial products that will be
 accumulated into each non-zero of C = A @ B.  The NeuraCompiler obtains
 these counters with a symbolic pass over the operand structures, which is
 exactly what this module implements.
+
+The pass is *columnar*: its result is a CSR-shaped structure-of-arrays
+(``indptr`` / ``indices`` / ``counts``) rather than a ``(row, col) -> count``
+dict, computed with the same ``np.repeat`` / cumulative-offset expansion the
+vectorized SpGEMM kernels use (:mod:`repro.sparse.kernels`), so no Python
+loop ever touches a partial product.  Dict-style accessors are kept as thin
+lazy views for compatibility with existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 
+#: Cap on partial products expanded per reduction chunk (~256 MiB of int64
+#: keys); above this the pass reduces chunk-by-chunk so peak memory stays
+#: bounded by the chunk size plus the accumulated per-chunk unique sets,
+#: instead of the full O(total_partial_products) expansion.
+SYMBOLIC_CHUNK_PARTIAL_PRODUCTS = 1 << 25
+
+
+def row_per_slot(indptr: np.ndarray, n_rows: int) -> np.ndarray:
+    """Output row index of every slot (CSR indptr run-length expansion).
+
+    This is *the* slot-order convention of the compile pipeline: counters,
+    rolling-counter addresses and output write-back addresses are all laid
+    out in the ascending ``row * n_cols + col`` order this expansion
+    induces.  Every consumer (symbolic views, ``ProgramArrays`` flat keys,
+    lazy dict views) must derive it from this one helper.
+    """
+    return np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+
 
 @dataclass
 class SymbolicProduct:
-    """Structure of C = A @ B without numeric values.
+    """Structure of C = A @ B without numeric values, in CSR-shaped arrays.
 
     Attributes:
         shape: shape of C.
-        entries: dict mapping (row, col) -> number of partial products that
-            contribute to that output element (the rolling counter value).
+        indptr: int64 array of length ``n_rows + 1``; output row ``i``
+            occupies the half-open slice ``indices[indptr[i]:indptr[i+1]]``.
+        indices: int64 column index per output non-zero, sorted within each
+            row — the canonical (row, col) slot order the compiler lays
+            counters and output elements out in.
+        counts: int64 rolling counter per output non-zero (number of partial
+            products accumulated into that element), aligned with
+            ``indices``.
         total_partial_products: total count of scalar multiply results
             produced by the multiplication phase (the ``pp_interim`` of
             Equation 1).
     """
 
     shape: tuple[int, int]
-    entries: dict[tuple[int, int], int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    counts: np.ndarray
     total_partial_products: int
+    _entries: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def nnz(self) -> int:
         """Number of non-zeros in the output matrix."""
-        return len(self.entries)
+        return int(self.indices.size)
+
+    def _row_per_slot(self) -> np.ndarray:
+        """Output row index of every slot (indptr run-length expansion)."""
+        return row_per_slot(self.indptr, self.shape[0])
+
+    @property
+    def entries(self) -> dict[tuple[int, int], int]:
+        """Dict view mapping (row, col) -> rolling counter (lazily built).
+
+        Kept for compatibility; the arrays are the primary representation.
+        """
+        if self._entries is None:
+            rows = self._row_per_slot()
+            self._entries = dict(zip(zip(rows.tolist(), self.indices.tolist()),
+                                     self.counts.tolist()))
+        return self._entries
 
     def counter(self, row: int, col: int) -> int:
         """Rolling counter for output element (row, col); 0 if structurally zero."""
-        return self.entries.get((row, col), 0)
+        if not 0 <= row < self.shape[0]:
+            return 0
+        lo, hi = int(self.indptr[row]), int(self.indptr[row + 1])
+        hit = lo + int(np.searchsorted(self.indices[lo:hi], col))
+        if hit < hi and self.indices[hit] == col:
+            return int(self.counts[hit])
+        return 0
 
     def counters_for_row(self, row: int) -> dict[int, int]:
-        """All column -> counter pairs for one output row."""
-        return {c: n for (r, c), n in self.entries.items() if r == row}
+        """All column -> counter pairs for one output row ({} if out of range)."""
+        if not 0 <= row < self.shape[0]:
+            return {}
+        lo, hi = int(self.indptr[row]), int(self.indptr[row + 1])
+        return dict(zip(self.indices[lo:hi].tolist(),
+                        self.counts[lo:hi].tolist()))
 
     def row_nnz_counts(self) -> np.ndarray:
         """Per-row output non-zero counts."""
-        counts = np.zeros(self.shape[0], dtype=np.int64)
-        for (r, _c) in self.entries:
-            counts[r] += 1
-        return counts
+        return np.diff(self.indptr)
+
+    def flat_keys(self) -> np.ndarray:
+        """Flattened output coordinates ``row * n_cols + col`` per slot,
+        ascending — the compiler's slot-lookup index."""
+        return self._row_per_slot() * self.shape[1] + self.indices
+
+
+def _expand_and_count(row_of_a: np.ndarray, k_of_a: np.ndarray,
+                      rep: np.ndarray, ends: np.ndarray, b_csr: CSRMatrix,
+                      n_cols: int, lo: int, hi: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Expand A entries ``[lo, hi)`` into flattened output coordinates and
+    reduce them to (sorted unique keys, per-key counts).
+
+    The gather rebases each B slice by the cumulative repeat counts plus a
+    running position (the kernel layer's cumulative-offset expansion).
+    """
+    rep_c = rep[lo:hi]
+    base = int(ends[lo - 1]) if lo else 0
+    total_c = int(ends[hi - 1]) - base
+    b_index = np.arange(total_c, dtype=np.int64) + base
+    b_index += np.repeat(b_csr.indptr[k_of_a[lo:hi]] - ends[lo:hi] + rep_c,
+                         rep_c)
+    keys = np.repeat(row_of_a[lo:hi] * n_cols, rep_c)
+    keys += b_csr.indices[b_index]
+    return np.unique(keys, return_counts=True)
+
+
+def _merge_unique_counts(parts: list[tuple[np.ndarray, np.ndarray]]
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-chunk (unique keys, counts) pairs, summing counts of keys
+    that appear in several chunks."""
+    keys = np.concatenate([part[0] for part in parts])
+    counts = np.concatenate([part[1] for part in parts])
+    order = np.argsort(keys, kind="stable")
+    keys, counts = keys[order], counts[order]
+    boundaries = np.empty(keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    return keys[starts], np.add.reduceat(counts, starts)
+
+
+def _symbolic_from_pairs(row_of_a: np.ndarray, k_of_a: np.ndarray,
+                         b_csr: CSRMatrix,
+                         shape: tuple[int, int]) -> SymbolicProduct:
+    """Shared vectorized core: expand every (A-entry, B-entry) pairing into
+    a flattened output coordinate, then reduce to per-coordinate counts.
+
+    ``row_of_a[e]`` / ``k_of_a[e]`` give the output row and inner index of
+    A entry ``e`` (any entry order works — the reduction sorts).  Very
+    high-bloat workloads (partial products far above
+    :data:`SYMBOLIC_CHUNK_PARTIAL_PRODUCTS`) are reduced chunk by chunk so
+    the transient expansion never materialises all partial products at
+    once.
+    """
+    n_rows, n_cols = shape
+    nb = b_csr.row_nnz_counts()
+    rep = nb[k_of_a] if k_of_a.size else np.zeros(0, dtype=np.int64)
+    total = int(rep.sum())
+    if total == 0:
+        return SymbolicProduct(shape=shape,
+                               indptr=np.zeros(n_rows + 1, dtype=np.int64),
+                               indices=np.zeros(0, dtype=np.int64),
+                               counts=np.zeros(0, dtype=np.int64),
+                               total_partial_products=0)
+    ends = np.cumsum(rep)
+    if total <= SYMBOLIC_CHUNK_PARTIAL_PRODUCTS:
+        unique, counts = _expand_and_count(row_of_a, k_of_a, rep, ends,
+                                           b_csr, n_cols, 0, rep.size)
+    else:
+        # Split on A-entry boundaries so each chunk expands at most about
+        # one chunk's worth of partial products (single entries may exceed
+        # the cap; a chunk always advances by at least one entry).
+        targets = np.arange(SYMBOLIC_CHUNK_PARTIAL_PRODUCTS, total,
+                            SYMBOLIC_CHUNK_PARTIAL_PRODUCTS, dtype=np.int64)
+        cuts = [0, *np.searchsorted(ends, targets, side="left") + 1, rep.size]
+        parts = [_expand_and_count(row_of_a, k_of_a, rep, ends, b_csr,
+                                   n_cols, lo, hi)
+                 for lo, hi in zip(cuts[:-1], cuts[1:]) if hi > lo]
+        unique, counts = _merge_unique_counts(parts)
+    major = unique // n_cols
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(major, minlength=n_rows), out=indptr[1:])
+    return SymbolicProduct(shape=shape, indptr=indptr,
+                           indices=unique - major * n_cols,
+                           counts=counts.astype(np.int64),
+                           total_partial_products=total)
 
 
 def symbolic_spgemm(a_csr: CSRMatrix, b_csr: CSRMatrix) -> SymbolicProduct:
     """Compute the structure and rolling counters of C = A @ B.
 
-    Both operands are given row-major; the pass walks A row by row
-    (Gustavson order) and counts, for every output coordinate, how many
-    (i, k, j) triples touch it.
+    Both operands are given row-major; the expansion enumerates exactly the
+    (i, k, j) triples Gustavson's row order would touch and counts, for
+    every output coordinate, how many of them land on it.
 
     Args:
         a_csr: left operand in CSR.
@@ -75,45 +220,23 @@ def symbolic_spgemm(a_csr: CSRMatrix, b_csr: CSRMatrix) -> SymbolicProduct:
     if a_csr.shape[1] != b_csr.shape[0]:
         raise ValueError(
             f"dimension mismatch: A is {a_csr.shape}, B is {b_csr.shape}")
-    entries: dict[tuple[int, int], int] = {}
-    total = 0
-    for i in range(a_csr.shape[0]):
-        a_cols, _a_vals = a_csr.row(i)
-        for k in a_cols:
-            b_cols, _b_vals = b_csr.row(int(k))
-            total += int(b_cols.size)
-            for j in b_cols:
-                key = (i, int(j))
-                entries[key] = entries.get(key, 0) + 1
-    return SymbolicProduct(shape=(a_csr.shape[0], b_csr.shape[1]),
-                           entries=entries,
-                           total_partial_products=total)
+    row_of_a = np.repeat(np.arange(a_csr.shape[0], dtype=np.int64),
+                         a_csr.row_nnz_counts())
+    return _symbolic_from_pairs(row_of_a, a_csr.indices, b_csr,
+                                (a_csr.shape[0], b_csr.shape[1]))
 
 
 def symbolic_spgemm_from_csc(a_csc: CSCMatrix, b_csr: CSRMatrix) -> SymbolicProduct:
     """Symbolic SpGEMM with A in CSC (the storage NeuraChip actually uses).
 
-    Walks the columns of A paired with the rows of B — the outer-product
-    order in which the MMH instructions are generated — and produces the
-    same counters as :func:`symbolic_spgemm`.
+    Pairs the columns of A with the rows of B — the outer-product order in
+    which the MMH instructions are generated — and produces the same
+    counters as :func:`symbolic_spgemm` (the reduction is order-insensitive).
     """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ValueError(
             f"dimension mismatch: A is {a_csc.shape}, B is {b_csr.shape}")
-    entries: dict[tuple[int, int], int] = {}
-    total = 0
-    for k in range(a_csc.shape[1]):
-        a_rows, _a_vals = a_csc.col(k)
-        if a_rows.size == 0:
-            continue
-        b_cols, _b_vals = b_csr.row(k)
-        if b_cols.size == 0:
-            continue
-        total += int(a_rows.size) * int(b_cols.size)
-        for i in a_rows:
-            for j in b_cols:
-                key = (int(i), int(j))
-                entries[key] = entries.get(key, 0) + 1
-    return SymbolicProduct(shape=(a_csc.shape[0], b_csr.shape[1]),
-                           entries=entries,
-                           total_partial_products=total)
+    k_of_a = np.repeat(np.arange(a_csc.shape[1], dtype=np.int64),
+                       a_csc.col_nnz_counts())
+    return _symbolic_from_pairs(a_csc.indices, k_of_a, b_csr,
+                                (a_csc.shape[0], b_csr.shape[1]))

@@ -19,6 +19,7 @@ from repro.core import (
     SweepSpec,
     available_executors,
     get_executor,
+    estimate_row_partial_products,
     matrix_fingerprint,
     plan_row_shards,
 )
@@ -144,6 +145,40 @@ class TestSharding:
         ranges = plan_row_shards(wiki, 5)
         stacked = csr_vstack([wiki.row_slice(lo, hi) for lo, hi in ranges])
         assert np.array_equal(stacked.to_dense(), wiki.to_dense())
+
+    def test_row_partial_product_estimate_is_exact(self, wiki, facebook):
+        from repro.sparse.symbolic import symbolic_spgemm
+
+        weights = estimate_row_partial_products(wiki, facebook)
+        assert int(weights.sum()) == \
+            symbolic_spgemm(wiki, facebook).total_partial_products
+
+    def test_pp_weighted_planner_balances_skew(self, wiki):
+        """Weighting by partial products must not shard worse than the
+        nnz-of-A proxy on a power-law graph, measured by the max per-shard
+        partial-product load."""
+        weights = estimate_row_partial_products(wiki, wiki)
+        def worst(ranges):
+            return max(int(weights[lo:hi].sum()) for lo, hi in ranges)
+
+        by_nnz = plan_row_shards(wiki, 4)
+        by_pp = plan_row_shards(wiki, 4, wiki)
+        assert worst(by_pp) <= worst(by_nnz)
+        # Both planners still cover every row exactly once.
+        assert by_pp[0][0] == 0 and by_pp[-1][1] == wiki.shape[0]
+        for (_, prev_hi), (lo, _) in zip(by_pp, by_pp[1:]):
+            assert lo == prev_hi
+
+    def test_pp_weighted_planner_result_unchanged(self, analytic_session,
+                                                  wiki, facebook):
+        whole = analytic_session.run(SpGEMMSpec(a=wiki, b=facebook,
+                                                label="whole"))
+        sharded = analytic_session.run(SpGEMMSpec(a=wiki, b=facebook,
+                                                  shards=3, label="sharded"))
+        assert sharded.metrics["partial_products"] == \
+            whole.metrics["partial_products"]
+        assert sharded.metrics["output_nnz"] == whole.metrics["output_nnz"]
+        assert np.allclose(sharded.output.to_dense(), whole.output.to_dense())
 
     def test_sharded_matches_unsharded(self, analytic_session, wiki):
         whole = analytic_session.run(SpGEMMSpec(a=wiki, label="whole"))
