@@ -17,7 +17,13 @@ from repro.arch import (
     TILE64,
     get_config,
 )
-from repro.backends import available_backends, get_backend, register_backend
+from repro.backends import (
+    ChipTopology,
+    available_backends,
+    get_backend,
+    predict_scaleout,
+    register_backend,
+)
 from repro.core import (
     BatchReport,
     BatchSpec,
@@ -71,6 +77,8 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "ChipTopology",
+    "predict_scaleout",
     "NeuraChipConfig",
     "TILE4",
     "TILE16",

@@ -7,7 +7,9 @@ up by name in this package's registry:
 * ``functional`` — untimed hash-accumulate dataflow;
 * ``cycle``      — event-driven cycle-level NeuraSim model;
 * ``analytic``   — roofline cycle prediction + vectorized kernel output,
-  for graphs too large for event simulation.
+  for graphs too large for event simulation;
+* ``multichip``  — N chip instances, one row shard each, reduced on the
+  host into the single-chip product (see :class:`ChipTopology`).
 
 Third-party backends register with :func:`register_backend`.
 """
@@ -29,6 +31,12 @@ from repro.backends.analytic import (
     CALIBRATED_TOLERANCE,
     AnalyticBackend,
 )
+from repro.backends.multichip import (
+    ChipTopology,
+    MultiChipBackend,
+    MultiChipExecutionResult,
+    predict_scaleout,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -40,5 +48,9 @@ __all__ = [
     "FunctionalBackend",
     "CycleBackend",
     "AnalyticBackend",
+    "MultiChipBackend",
+    "MultiChipExecutionResult",
+    "ChipTopology",
+    "predict_scaleout",
     "CALIBRATED_TOLERANCE",
 ]

@@ -1,0 +1,403 @@
+"""Multi-chip scale-out execution backend.
+
+NeuraChip's decoupled SpGEMM pipeline and Tesseract-style hash partitioning
+are designed to scale across chips: rows of A partition the partial
+products of C = A @ B exactly, so each chip can own a contiguous row shard,
+compile and execute it independently, and the host reduces the per-chip
+products with :func:`~repro.sparse.convert.csr_vstack` into a result
+identical to the single-chip run.
+
+The ``multichip`` backend models exactly that:
+
+* :class:`ChipTopology` describes the fleet — chip count, the per-chip
+  execution backend (``analytic`` by default, ``cycle`` / ``functional``
+  for fidelity), and the host-reduce cost model;
+* every chip executes in isolation — its own compiled shard program and
+  its own simulator (memory / NeuraMem) state and stats, built fresh per
+  chip by the inner backend — and the per-chip work fans out over any
+  registered host executor (serial / thread / process);
+* the aggregate timing report takes ``cycles = max over chips + host
+  reduce term``, sums activity-style totals (busy / stall cycles, traffic,
+  NoC flits, evictions), and records per-chip cycles plus shard-skew
+  counters;
+* :func:`predict_scaleout` is the analytic fast path: it predicts
+  scale-out efficiency from the per-shard partial-product histogram alone,
+  without compiling or simulating anything.
+
+Per-shard compiled programs are cached by operand fingerprint through the
+session's :class:`~repro.core.runner.ProgramCache` (each shard slice has
+its own content fingerprint), so repeated multi-chip runs of the same graph
+skip every per-chip compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend, ExecutionContext, ExecutionResult
+from repro.backends.registry import get_backend, register_backend
+from repro.compiler.program import Program
+from repro.sim.accelerator import SimulationReport
+from repro.sim.neuracore import MMH_HIST_BINS, MMH_HIST_BIN_WIDTH
+from repro.sim.neuramem import HACC_HIST_BINS, HACC_HIST_BIN_WIDTH
+from repro.sim.stats import Histogram
+from repro.sparse.convert import csr_to_csc, csr_vstack
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import (
+    estimate_row_partial_products,
+    plan_row_shards,
+    shard_partial_products,
+)
+
+#: Bytes the host reduce moves per output *row*.  Output ownership follows
+#: the row shards (Tesseract-style): each chip keeps its rows of C in its
+#: local HBM, so the reduce never moves values or column indices — it only
+#: gathers and rebases one int64 row pointer per output row to stitch the
+#: per-chip CSR blocks into one logical matrix.
+REDUCE_BYTES_PER_ROW = 8
+
+
+@dataclass(frozen=True)
+class ChipTopology:
+    """Description of a multi-chip fleet and its host interconnect.
+
+    Attributes:
+        n_chips: number of chip instances row shards are assigned to.
+        chip_backend: registered backend each chip executes its shard
+            program through ('analytic', 'cycle', or 'functional').
+        reduce_bytes_per_cycle: host-interconnect gather bandwidth used by
+            the reduce-cost term (row-pointer bytes per chip cycle; the
+            output values stay sharded in chip-local HBM).
+        reduce_latency_cycles: fixed fleet synchronisation latency added
+            once to the reduce term.
+    """
+
+    n_chips: int = 1
+    chip_backend: str = "analytic"
+    reduce_bytes_per_cycle: float = 64.0
+    reduce_latency_cycles: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ValueError(f"n_chips must be >= 1, got {self.n_chips}")
+        if self.chip_backend == "multichip":
+            raise ValueError("chip_backend cannot be 'multichip' "
+                             "(chips do not nest)")
+        if self.reduce_bytes_per_cycle <= 0:
+            raise ValueError("reduce_bytes_per_cycle must be > 0")
+
+    def reduce_cycles(self, output_rows: int) -> float:
+        """Host reduce term: gather and rebase the per-chip row pointers
+        (the values themselves stay in the owning chip's HBM) plus one
+        fleet synchronisation latency."""
+        if self.n_chips == 1:
+            return 0.0
+        traffic = output_rows * REDUCE_BYTES_PER_ROW
+        return traffic / self.reduce_bytes_per_cycle + self.reduce_latency_cycles
+
+
+@dataclass
+class ChipRun:
+    """Outcome of one chip executing its row shard."""
+
+    chip: int
+    rows: tuple[int, int]
+    output: CSRMatrix
+    report: SimulationReport | None
+    mmh: int
+    partial_products: int
+    cache_hit: bool = False
+
+    @property
+    def cycles(self) -> float:
+        return self.report.cycles if self.report is not None else 0.0
+
+
+@dataclass
+class MultiChipExecutionResult(ExecutionResult):
+    """Aggregate result of a multi-chip execution plus per-chip detail."""
+
+    chip_runs: list[ChipRun] = field(default_factory=list)
+    topology: ChipTopology = field(default_factory=ChipTopology)
+    reduce_cycles: float = 0.0
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.chip_runs)
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when every chip's shard program came from the cache."""
+        return bool(self.chip_runs) and all(run.cache_hit
+                                            for run in self.chip_runs)
+
+
+def _compile_shard(shard: CSRMatrix, b_csr: CSRMatrix, tile_size: int,
+                   source: str, cache) -> tuple[Program, bool]:
+    """Compile one shard program, going through ``cache`` (a
+    :class:`~repro.core.runner.ProgramCache`, duck-typed) when given.
+    Shard slices fingerprint by content, so each shard caches separately."""
+    from repro.compiler.lowering import compile_spgemm
+
+    if cache is not None:
+        key = cache.key(shard, b_csr, tile_size)
+        program = cache.get(key)
+        if program is not None:
+            return program, True
+    program = compile_spgemm(csr_to_csc(shard), b_csr, tile_size=tile_size,
+                             source=source)
+    if cache is not None:
+        cache.put(key, program)
+    return program, False
+
+
+def _run_chip(chip: int, rows: tuple[int, int], shard: CSRMatrix,
+              b_csr: CSRMatrix, tile_size: int, source: str,
+              chip_backend: str, ctx: ExecutionContext, verify: bool,
+              cache) -> ChipRun:
+    """Compile and execute one chip's shard on a fresh per-chip context."""
+    program, cache_hit = _compile_shard(shard, b_csr, tile_size,
+                                        f"{source}@chip{chip}", cache)
+    # The context is immutable chip *configuration*; per-chip isolation
+    # comes from the backend building fresh simulator state per execute.
+    execution = get_backend(chip_backend).execute(
+        program, ctx, a_csr=shard, b_csr=b_csr, verify=verify)
+    return ChipRun(chip=chip, rows=rows, output=execution.output,
+                   report=execution.report, mmh=program.n_instructions,
+                   partial_products=program.total_partial_products,
+                   cache_hit=cache_hit)
+
+
+def _chip_worker(payload: dict) -> ChipRun:
+    """Process-executor entry point: rebuild the per-chip state from a
+    picklable payload (the disk program cache, when configured, is shared
+    through the filesystem; in-memory caches stay per-worker)."""
+    from repro.core.runner import ProgramCache
+
+    cache = None
+    if payload["cache_dir"] is not None:
+        cache = ProgramCache(payload["cache_capacity"],
+                             cache_dir=payload["cache_dir"],
+                             max_disk_bytes=payload["cache_max_disk_bytes"])
+    ctx = ExecutionContext(config=payload["config"], params=payload["params"],
+                           mapping_scheme=payload["mapping_scheme"],
+                           mapping_seed=payload["mapping_seed"],
+                           eviction_mode=payload["eviction_mode"],
+                           kernel_impl=payload["kernel_impl"])
+    return _run_chip(payload["chip"], payload["rows"], payload["shard"],
+                     payload["b"], payload["tile_size"], payload["source"],
+                     payload["chip_backend"], ctx, payload["verify"], cache)
+
+
+@register_backend("multichip")
+class MultiChipBackend(ExecutionBackend):
+    """Scale one SpGEMM across N chips, one row shard per chip.
+
+    The backend is configured through attributes after construction (the
+    registry instantiates backends without arguments): ``topology`` selects
+    the fleet, ``cache`` an optional program cache for the per-shard
+    compiles, and ``executor`` an optional
+    :class:`~repro.core.executors.Executor` the per-chip work fans out on
+    (chips run serially inline when unset).
+    """
+
+    def __init__(self) -> None:
+        self.topology = ChipTopology()
+        self.cache = None
+        self.executor = None
+
+    # ------------------------------------------------------------------
+    def execute(self, program: Program, ctx: ExecutionContext,
+                a_csr: CSRMatrix | None = None,
+                b_csr: CSRMatrix | None = None,
+                verify: bool = True) -> ExecutionResult:
+        """Protocol entry point: re-plan from the operands of an already
+        compiled program (each chip compiles its own shard program; the
+        whole-matrix ``program`` only contributes tile size and label)."""
+        if a_csr is None:
+            raise ValueError("the multichip backend shards the CSR operands; "
+                             "pass a_csr (and b_csr) alongside the program")
+        return self.execute_operands(a_csr, b_csr, ctx,
+                                     tile_size=program.tile_size,
+                                     source=program.source, verify=verify)
+
+    def execute_operands(self, a_csr: CSRMatrix, b_csr: CSRMatrix | None,
+                         ctx: ExecutionContext, tile_size: int,
+                         source: str = "spgemm",
+                         verify: bool = True) -> MultiChipExecutionResult:
+        """Shard, compile per chip, execute per chip, reduce."""
+        topology = self.topology
+        effective_b = b_csr if b_csr is not None else a_csr
+        ranges = plan_row_shards(a_csr, topology.n_chips, effective_b)
+        runs = self._run_chips(a_csr, effective_b, ranges, ctx, tile_size,
+                               source, verify)
+        output = csr_vstack([run.output for run in runs])
+        reduce_cycles = (topology.reduce_cycles(output.shape[0])
+                         if len(runs) > 1 else 0.0)
+        report = None
+        if all(run.report is not None for run in runs):
+            report = self._aggregate_report(runs, output, reduce_cycles,
+                                            ctx, source)
+        return MultiChipExecutionResult(
+            backend=self.name, output=output, report=report, functional=None,
+            chip_runs=runs, topology=topology, reduce_cycles=reduce_cycles)
+
+    # ------------------------------------------------------------------
+    def _run_chips(self, a_csr: CSRMatrix, b_csr: CSRMatrix,
+                   ranges: list[tuple[int, int]], ctx: ExecutionContext,
+                   tile_size: int, source: str,
+                   verify: bool) -> list[ChipRun]:
+        topology = self.topology
+        executor = self.executor
+        if executor is not None and executor.name == "process":
+            # Each payload ships its chip's A shard plus a full copy of B
+            # (the executor abstraction has no pool-initializer hook to
+            # broadcast B once per worker); chip counts are small, so the
+            # duplicated serialization is bounded at n_chips * nnz(B).
+            cache_dir = getattr(self.cache, "cache_dir", None)
+            payloads = [{
+                "chip": index, "rows": (lo, hi),
+                "shard": a_csr.row_slice(lo, hi), "b": b_csr,
+                "tile_size": tile_size, "source": source,
+                "chip_backend": topology.chip_backend, "verify": verify,
+                "config": ctx.config, "params": ctx.params,
+                "mapping_scheme": ctx.mapping_scheme,
+                "mapping_seed": ctx.mapping_seed,
+                "eviction_mode": ctx.eviction_mode,
+                "kernel_impl": ctx.kernel_impl,
+                "cache_dir": cache_dir,
+                "cache_capacity": getattr(self.cache, "capacity", 0),
+                "cache_max_disk_bytes": getattr(self.cache,
+                                                "max_disk_bytes", None),
+            } for index, (lo, hi) in enumerate(ranges)]
+            return executor.map(_chip_worker, payloads)
+
+        def chip_job(item: tuple[int, tuple[int, int]]) -> ChipRun:
+            index, (lo, hi) = item
+            return _run_chip(index, (lo, hi), a_csr.row_slice(lo, hi), b_csr,
+                             tile_size, source, topology.chip_backend, ctx,
+                             verify, self.cache)
+
+        items = list(enumerate(ranges))
+        if executor is None:
+            return [chip_job(item) for item in items]
+        return executor.map(chip_job, items)
+
+    # ------------------------------------------------------------------
+    def _aggregate_report(self, runs: list[ChipRun], output: CSRMatrix,
+                          reduce_cycles: float, ctx: ExecutionContext,
+                          source: str) -> SimulationReport:
+        """Fleet-level report: cycles = max over chips + host reduce,
+        activity totals summed, shard-skew counters recorded."""
+        config = ctx.config
+        reports = [run.report for run in runs]
+        chip_cycles = [report.cycles for report in reports]
+        cycles = float(max(chip_cycles) + reduce_cycles)
+        n_mmh = sum(run.mmh for run in runs)
+        pp = sum(run.partial_products for run in runs)
+        pp_per_chip = [run.partial_products for run in runs]
+        mean_pp = pp / len(runs) if runs else 0.0
+        skew = max(pp_per_chip) / mean_pp if mean_pp else 1.0
+        seconds = cycles / (config.frequency_ghz * 1e9)
+        useful_flops = sum(report.useful_flops for report in reports)
+        busy = sum(report.busy_cycles for report in reports)
+        pipelines = max(1, config.total_pipelines)
+        verdicts = [report.correct for report in reports]
+        counters = {
+            "multichip.n_chips": len(runs),
+            "multichip.reduce_cycles": round(reduce_cycles, 1),
+            "multichip.shard_skew": round(skew, 4),
+            "multichip.efficiency": round(
+                pp / (len(runs) * max(pp_per_chip)), 4) if pp else 1.0,
+        }
+        for run in runs:
+            counters[f"multichip.chip{run.chip}.cycles"] = run.cycles
+            counters[f"multichip.chip{run.chip}.rows"] = \
+                run.rows[1] - run.rows[0]
+            counters[f"multichip.chip{run.chip}.partial_products"] = \
+                run.partial_products
+        return SimulationReport(
+            config_name=f"{config.name}x{len(runs)}",
+            workload=source,
+            cycles=cycles,
+            mmh_instructions=n_mmh,
+            hacc_instructions=pp,
+            useful_flops=useful_flops,
+            gflops=useful_flops / seconds / 1e9 if seconds > 0 else 0.0,
+            gops=pp / seconds / 1e9 if seconds > 0 else 0.0,
+            mmh_cpi_mean=float(np.mean([r.mmh_cpi_mean for r in reports])),
+            hacc_cpi_mean=float(np.mean([r.hacc_cpi_mean for r in reports])),
+            mmh_cpi_histogram=Histogram(bin_width=MMH_HIST_BIN_WIDTH,
+                                        n_bins=MMH_HIST_BINS),
+            hacc_cpi_histogram=Histogram(bin_width=HACC_HIST_BIN_WIDTH,
+                                         n_bins=HACC_HIST_BINS),
+            ipc=n_mmh / cycles if cycles else 0.0,
+            cpi=cycles / n_mmh if n_mmh else 0.0,
+            stall_cycles=sum(r.stall_cycles for r in reports),
+            busy_cycles=busy,
+            core_utilization=min(1.0, busy / (cycles * pipelines * len(runs)))
+            if cycles else 0.0,
+            mem_utilization=min(1.0, sum(
+                r.mem_utilization * r.cycles for r in reports)
+                / (cycles * len(runs))) if cycles else 0.0,
+            avg_inflight_mem=sum(r.avg_inflight_mem for r in reports),
+            memory_traffic_bytes=sum(r.memory_traffic_bytes for r in reports),
+            evictions=sum(r.evictions for r in reports),
+            spills=sum(r.spills for r in reports),
+            peak_hashpad_occupancy=max(r.peak_hashpad_occupancy
+                                       for r in reports),
+            hashpad_occupancy_fraction=max(r.hashpad_occupancy_fraction
+                                           for r in reports),
+            noc_flits=sum(r.noc_flits for r in reports),
+            noc_avg_hops=float(np.mean([r.noc_avg_hops for r in reports])),
+            output_nnz=output.nnz,
+            correct=None if any(v is None for v in verdicts)
+            else all(verdicts),
+            max_abs_error=max(r.max_abs_error for r in reports),
+            wall_clock_seconds=sum(r.wall_clock_seconds for r in reports),
+            events=sum(r.events for r in reports),
+            eviction_mode=ctx.eviction_mode,
+            mapping_scheme=ctx.mapping_scheme,
+            counters=counters,
+        )
+
+def predict_scaleout(a_csr: CSRMatrix, n_chips: int,
+                     b_csr: CSRMatrix | None = None) -> dict:
+    """Analytic fast path: predict scale-out efficiency without simulating.
+
+    Uses only the per-shard partial-product histogram the planner would
+    produce: the fleet finishes when its most loaded chip does, so the
+    throughput-bound speedup is ``total_pp / max_shard_pp`` and the
+    efficiency is that speedup over the chip count.  The prediction is an
+    *upper bound* — it ignores the per-chip latency floor and the host
+    reduce term — and is trustworthy when per-chip work dominates both
+    (large graphs on throughput-bound configurations); distrust it on tiny
+    or extremely sparse shards where the latency floor sets the runtime.
+
+    Returns a dict with ``n_chips`` (effective, after degenerate-input
+    clamping), ``shard_partial_products``, ``shard_rows``, ``skew``
+    (max/mean shard load), ``efficiency`` and ``predicted_speedup``.
+    """
+    effective_b = b_csr if b_csr is not None else a_csr
+    weights = estimate_row_partial_products(a_csr, effective_b)
+    if a_csr.shape[0] and int(weights.sum()) == 0:
+        # Mirror plan_row_shards' structurally-empty-product fallback so
+        # the predicted plan matches what execute_operands actually runs
+        # (the histogram then reports nnz-of-A weights, like the planner).
+        weights = a_csr.row_nnz_counts()
+    ranges = plan_row_shards(a_csr, n_chips, effective_b, weights=weights)
+    loads = shard_partial_products(a_csr, ranges, weights=weights)
+    total = int(loads.sum())
+    peak = int(loads.max()) if loads.size else 0
+    mean = total / loads.size if loads.size else 0.0
+    speedup = total / peak if peak else 1.0
+    return {
+        "n_chips": len(ranges),
+        "shard_rows": [hi - lo for lo, hi in ranges],
+        "shard_partial_products": loads.tolist(),
+        "skew": round(peak / mean, 4) if mean else 1.0,
+        "efficiency": round(speedup / len(ranges), 4) if ranges else 1.0,
+        "predicted_speedup": round(speedup, 4),
+    }

@@ -1,15 +1,18 @@
 """Command-line interface: the Dashboard / NeuraViz replacement.
 
-Six subcommands cover the workflows the paper's WebGUI exposes::
+Seven subcommands cover the workflows the paper's WebGUI exposes::
 
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
     python -m repro run --dataset cora --config Tile-16 --max-nodes 192
     python -m repro run --dataset cora --backend analytic --shards 4
+    python -m repro run --dataset cora --backend multichip --chips 4
     python -m repro gcn --dataset cora --feature-dim 16 --hidden-dim 8
     python -m repro sweep --dataset cora          # Tile-4/16/64 sweep (Fig. 11)
     python -m repro batch --datasets cora cora wiki-Vote --backend analytic \
         --executor process --workers 4 --cache-dir ~/.cache/neurachip-repro
+    python -m repro cache stats                   # on-disk program-cache tier
+    python -m repro cache clear
 
 Every workload subcommand routes through one
 :class:`~repro.core.session.Session`, so they all share the same knobs:
@@ -46,8 +49,23 @@ def _maybe_save(rows: list[dict], output_dir: str | None, name: str) -> None:
 
 def _session(args: argparse.Namespace, default_backend: str = "cycle") -> Session:
     """One Session configured from the shared workload flags."""
+    backend = getattr(args, "backend", default_backend)
+    chips = getattr(args, "chips", None)
+    chip_backend = getattr(args, "chip_backend", None)
+    topology = None
+    if backend == "multichip":
+        from repro.core.specs import ChipTopology
+
+        # chips=0 must reach ChipTopology's validation, not coerce to 1.
+        topology = ChipTopology(n_chips=1 if chips is None else chips,
+                                chip_backend=chip_backend or "analytic")
+    elif chips is not None:
+        raise ValueError("--chips requires --backend multichip")
+    elif chip_backend is not None:
+        raise ValueError("--chip-backend requires --backend multichip")
     return Session(args.config,
-                   backend=getattr(args, "backend", default_backend),
+                   backend=backend,
+                   topology=topology,
                    impl=getattr(args, "impl", "numpy"),
                    executor=getattr(args, "executor", "serial"),
                    workers=getattr(args, "workers", None),
@@ -124,6 +142,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             "output_nnz": result.output.nnz,
             "bloat_pct": round(result.program.bloat_percent, 2),
         })
+    if result.provenance.chips > 1:
+        row["chips"] = result.provenance.chips
+        row["shard_skew"] = result.metrics.get("shard_skew")
     row["cache_hit"] = result.provenance.cache_hit
     row["wall_time_s"] = round(result.provenance.wall_time_s, 4)
     rows = [row]
@@ -200,6 +221,38 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent on-disk program cache."""
+    from repro.core.runner import ProgramCache, default_cache_dir
+
+    directory = Path(args.cache_dir).expanduser() if args.cache_dir \
+        else default_cache_dir()
+    if args.action == "clear":
+        if not directory.exists():
+            print(f"cache dir {directory} does not exist; nothing to clear")
+            return 0
+        removed = ProgramCache(0, cache_dir=directory).clear_disk()
+        print(f"removed {removed} cached program(s) from {directory}")
+        return 0
+    if directory.exists():
+        stats = ProgramCache(0, cache_dir=directory).disk_stats()
+    else:  # a stats query must not create the directory
+        from repro.core.runner import DEFAULT_DISK_CAPACITY_BYTES
+
+        stats = {"disk_entries": 0, "disk_bytes": 0,
+                 "max_disk_bytes": DEFAULT_DISK_CAPACITY_BYTES}
+    rows = [{
+        "cache_dir": str(directory),
+        "entries": stats["disk_entries"],
+        "bytes": stats["disk_bytes"],
+        "kib": round(stats["disk_bytes"] / 1024, 1),
+        "max_bytes": stats["max_disk_bytes"],
+    }]
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, "cache_stats")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -233,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache-dir", default=None,
                          help="persist compiled programs to this directory; "
                               "warm caches skip compilation entirely")
+        sub.add_argument("--chips", type=int, default=None,
+                         help="chip count for the multichip backend (each "
+                              "chip owns one row shard and its own context)")
+        sub.add_argument("--chip-backend",
+                         choices=("functional", "cycle", "analytic"),
+                         default=None,
+                         help="backend each chip of a multichip run executes "
+                              "its shard through (default: analytic)")
 
     p_bloat = subparsers.add_parser("bloat", help="Table-1 memory-bloat analysis")
     p_bloat.add_argument("--datasets", nargs="*", default=None)
@@ -284,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_session(p_batch, default="analytic")
     add_common(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_cache = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent program cache")
+    p_cache.add_argument("action", choices=("stats", "clear"),
+                         help="'stats' reports entry/byte totals, 'clear' "
+                              "removes every cached program")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: the versioned "
+                              "per-user cache dir)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -39,6 +39,7 @@ from repro.core.session import (
 )
 from repro.core.specs import (
     BatchSpec,
+    ChipTopology,
     GCNLayerSpec,
     Provenance,
     RunResult,
@@ -49,6 +50,7 @@ from repro.core.specs import (
 
 __all__ = [
     "Session",
+    "ChipTopology",
     "WorkloadSpec",
     "SpGEMMSpec",
     "GCNLayerSpec",

@@ -20,6 +20,8 @@ to a session and return exactly what they always returned.
 
 from __future__ import annotations
 
+import os
+import sys
 import warnings
 from dataclasses import dataclass, field
 
@@ -55,9 +57,28 @@ def _as_csr(matrix) -> CSRMatrix:
     raise TypeError(f"unsupported matrix type {type(matrix)!r}")
 
 
+#: Root of the installed ``repro`` package, for frame classification below.
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__))) \
+    + os.sep
+
+
 def _deprecated(old: str, new: str) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the *caller* of the
+    deprecated entry point.
+
+    A fixed ``stacklevel`` points the warning at shim internals whenever an
+    entry point is reached through another layer of this package (e.g. a
+    facade method forwarding to a queue), so the level is computed by
+    walking outward to the first frame that lives outside ``repro``.
+    """
+    level = 2  # warn() attributes level 2 to _deprecated's caller
+    frame = sys._getframe(1)
+    while frame is not None and \
+            os.path.abspath(frame.f_code.co_filename).startswith(_PACKAGE_ROOT):
+        frame = frame.f_back
+        level += 1
     warnings.warn(f"{old} is deprecated; use {new} instead",
-                  DeprecationWarning, stacklevel=3)
+                  DeprecationWarning, stacklevel=level)
 
 
 @dataclass

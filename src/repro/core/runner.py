@@ -33,6 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Default bound on cached compiled programs (LRU eviction).
 DEFAULT_CACHE_CAPACITY = 128
 
+#: Default bound on the on-disk cache tier, in bytes.  Long-lived serving
+#: hosts spill every compiled program; without a cap the tier grows without
+#: bound, so spills sweep the directory by mtime (oldest first) down to
+#: this size.  ``max_disk_bytes=None`` disables the sweep.
+DEFAULT_DISK_CAPACITY_BYTES = 256 * 1024 * 1024
+
 #: On-disk cache schema version.  Part of every fingerprint and cache key:
 #: bump it whenever the fingerprint inputs, the Program layout, or the
 #: pickle payload change shape, so stale entries from an older release can
@@ -190,17 +196,25 @@ class ProgramCache:
     ``cache_dir`` is given, every stored program is also pickled to disk
     under its key digest; later processes (or later CLI invocations) that
     miss in memory transparently load from disk, skipping compilation.
-    The cache is thread-safe, so a thread executor can share it.
+    The disk tier is itself bounded: every spill sweeps the directory down
+    to ``max_disk_bytes`` by eviction of the oldest-mtime entries (disk
+    hits touch the file's mtime, so the sweep is an LRU over entries any
+    process sharing the directory actually uses).  The cache is
+    thread-safe, so a thread executor can share it.
     """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY,
-                 cache_dir: str | Path | None = None) -> None:
+                 cache_dir: str | Path | None = None,
+                 max_disk_bytes: int | None = DEFAULT_DISK_CAPACITY_BYTES
+                 ) -> None:
         self.capacity = max(0, capacity)
+        self.max_disk_bytes = max_disk_bytes
         self._entries: OrderedDict[tuple, Program] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.disk_evictions = 0
         self.cache_dir: Path | None = None
         if cache_dir is not None:
             path = Path(cache_dir).expanduser()
@@ -270,6 +284,10 @@ class ProgramCache:
                 schema, stored_key, program = pickle.load(handle)
             if schema != CACHE_SCHEMA_VERSION or stored_key != key:
                 raise ValueError("stale or colliding cache entry")
+            try:
+                os.utime(path)  # LRU touch: hot entries survive the sweep
+            except OSError:
+                pass
             return program
         except Exception:  # corrupt/stale entries are misses, not errors
             path.unlink(missing_ok=True)
@@ -293,6 +311,69 @@ class ProgramCache:
             # payloads (e.g. caller-extended metadata) must not abort the
             # run, and the partial temp file must not linger.
             tmp.unlink(missing_ok=True)
+            return
+        self._sweep_disk()
+
+    def _sweep_disk(self) -> None:
+        """Evict oldest-mtime disk entries until the tier fits
+        ``max_disk_bytes`` (best-effort: concurrent writers may race the
+        stat/unlink, which only makes the sweep conservative)."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_disk_bytes:
+            return
+        # Never evict the newest entry: a single program larger than the
+        # cap must stay cached (deleting it would force a recompile on
+        # every subsequent run without ever freeing the budget it needs).
+        for _, size, path in sorted(entries)[:-1]:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+            self.disk_evictions += 1
+            total -= size
+            if total <= self.max_disk_bytes:
+                break
+
+    def clear_disk(self) -> int:
+        """Remove every on-disk entry (and stray temp files); returns the
+        number of cache entries removed."""
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+            except OSError:
+                continue
+        for tmp in self.cache_dir.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
+        return removed
+
+    def disk_stats(self) -> dict:
+        """Entry count and byte totals of the on-disk tier."""
+        entries = 0
+        total = 0
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"disk_entries": entries, "disk_bytes": total,
+                "max_disk_bytes": self.max_disk_bytes,
+                "disk_evictions": self.disk_evictions}
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -300,7 +381,8 @@ class ProgramCache:
         return {"hits": self.hits, "misses": self.misses,
                 "disk_hits": self.disk_hits, "entries": len(self._entries),
                 "capacity": self.capacity,
-                "cache_dir": str(self.cache_dir) if self.cache_dir else None}
+                "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+                **self.disk_stats()}
 
     def __len__(self) -> int:
         return len(self._entries)

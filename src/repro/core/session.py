@@ -24,12 +24,21 @@ split by the planner into balanced row-group jobs — rows of A partition the
 partial products of A @ B exactly — which fan out over the executor and
 reduce into a single result whose output matrix is identical to the
 unsharded product.
+
+Scale-out: ``Session(backend="multichip", chips=N)`` (or a full
+:class:`~repro.backends.multichip.ChipTopology`) assigns those row shards
+to N distinct chip instances — one
+:class:`~repro.backends.base.ExecutionContext` per chip, each with its own
+compiled shard program and stats — and reduces per-chip products into the
+same byte-identical output, with cycles modelled as the slowest chip plus
+a host reduce term and power summed across the fleet.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace as _replace_spec
 from functools import partial
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -37,12 +46,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.arch.config import NeuraChipConfig, get_config
-from repro.backends import get_backend
+from repro.backends import ChipTopology, get_backend
 from repro.compiler import compile_gcn_aggregation
 from repro.compiler.program import ProgramDigest
 from repro.core.executors import Executor, get_executor
 from repro.core.runner import (
     DEFAULT_CACHE_CAPACITY,
+    DEFAULT_DISK_CAPACITY_BYTES,
     BatchReport,
     JobOutcome,
     ProgramCache,
@@ -61,66 +71,12 @@ from repro.sparse.convert import csc_to_csr, csr_vstack
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.kernels import IMPLS
 
-
-# ----------------------------------------------------------------------
-# Sharding planner
-# ----------------------------------------------------------------------
-def estimate_row_partial_products(a_csr: CSRMatrix,
-                                  b_csr: CSRMatrix) -> np.ndarray:
-    """Exact partial products each row of A contributes to A @ B.
-
-    Row ``i`` of C accumulates ``sum(nnz(B[k, :]) for k in A[i, :])``
-    partial products — the same per-inner-index counts the columnar
-    symbolic pass reduces over, computed here with one gather and a
-    prefix sum (no symbolic pass, no Python loop).
-    """
-    if a_csr.shape[1] != b_csr.shape[0]:
-        raise ValueError(f"dimension mismatch: A is {a_csr.shape}, "
-                         f"B is {b_csr.shape}")
-    entry_weights = b_csr.row_nnz_counts()[a_csr.indices]
-    prefix = np.zeros(a_csr.nnz + 1, dtype=np.int64)
-    np.cumsum(entry_weights, out=prefix[1:])
-    return prefix[a_csr.indptr[1:]] - prefix[a_csr.indptr[:-1]]
-
-
-def plan_row_shards(a_csr: CSRMatrix, n_shards: int,
-                    b_csr: CSRMatrix | None = None) -> list[tuple[int, int]]:
-    """Split the rows of A into ``n_shards`` contiguous groups balanced by
-    per-shard work.
-
-    With ``b_csr`` given, rows are weighted by their *exact* partial-product
-    count (nnz of each A row weighted by the matching B-row sizes — see
-    :func:`estimate_row_partial_products`), which is the quantity that
-    actually determines per-shard compile and execute cost; power-law graphs
-    shard far more evenly this way than under the older nnz-of-A proxy,
-    which remains the fallback when ``b_csr`` is omitted.  Row slices
-    partition the partial products of A @ B exactly, so the reduced result
-    is identical either way.
-
-    Returns half-open ``(start, stop)`` row ranges that cover every row
-    exactly once; degenerate requests (more shards than rows) are clamped.
-    """
-    n_rows = a_csr.shape[0]
-    if n_rows == 0:
-        raise ValueError("cannot shard an empty matrix")
-    n_shards = max(1, min(n_shards, n_rows))
-    if b_csr is not None:
-        weights = estimate_row_partial_products(a_csr, b_csr)
-        if int(weights.sum()) == 0:  # structurally empty product
-            weights = a_csr.row_nnz_counts()
-    else:
-        weights = a_csr.row_nnz_counts()
-    cumulative = np.cumsum(weights)
-    total = int(cumulative[-1])
-    cuts = [0]
-    for shard in range(1, n_shards):
-        cut = int(np.searchsorted(cumulative, total * shard / n_shards,
-                                  side="left")) + 1
-        # Keep every shard non-empty even on pathological distributions.
-        cut = min(max(cut, cuts[-1] + 1), n_rows - (n_shards - shard))
-        cuts.append(cut)
-    cuts.append(n_rows)
-    return list(zip(cuts[:-1], cuts[1:]))
+# The planner lives in the sparse layer now (it is shared with the
+# multichip backend); these re-exports keep the historical import path.
+from repro.sparse.partition import (  # noqa: F401  (re-exported API)
+    estimate_row_partial_products,
+    plan_row_shards,
+)
 
 
 # ----------------------------------------------------------------------
@@ -144,7 +100,9 @@ def _sweep_config_worker(payload: dict) -> tuple[str, dict[str, float]]:
     Figure-11 metrics row.
 
     Deliberately routes through ``NeuraChip.run_spgemm`` so callers that
-    patch or subclass the facade see the sweep's per-config runs.
+    patch or subclass the facade see the sweep's per-config runs.  The
+    multichip backend carries a topology the facade cannot express, so it
+    runs through a per-config session instead.
     """
     import warnings
 
@@ -152,10 +110,16 @@ def _sweep_config_worker(payload: dict) -> tuple[str, dict[str, float]]:
 
     chip = NeuraChip(payload["config"], eviction_mode=payload["eviction_mode"],
                      params=payload["params"])
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        result = chip.run_spgemm(payload["a"], payload["b"], verify=False,
-                                 backend=payload["backend"])
+    if payload.get("topology") is not None:
+        with Session(chip, backend=payload["backend"],
+                     topology=payload["topology"]) as session:
+            result = session.run(SpGEMMSpec(a=payload["a"], b=payload["b"],
+                                            verify=False)).legacy
+    else:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = chip.run_spgemm(payload["a"], payload["b"], verify=False,
+                                     backend=payload["backend"])
     report = result.report
     if report is None:
         raise ValueError(f"backend {payload['backend']!r} produces no timing "
@@ -190,6 +154,13 @@ class Session:
         cache_dir: directory for the persistent program cache; ``None``
             keeps the cache in memory only.
         cache_capacity: in-memory LRU bound.
+        cache_max_disk_bytes: size cap of the on-disk cache tier (swept
+            oldest-mtime-first on spill); ``None`` disables the sweep.
+        chips: chip count for the ``multichip`` backend (shorthand for
+            ``topology=ChipTopology(n_chips=chips)``).
+        topology: full :class:`~repro.backends.multichip.ChipTopology`
+            (chip count, per-chip backend, host-reduce cost model); only
+            meaningful with ``backend="multichip"``.
         mapping_scheme / eviction_mode / params / mapping_seed: forwarded
             to the chip when one is constructed here.
 
@@ -203,6 +174,9 @@ class Session:
                  cache: ProgramCache | None = None,
                  cache_dir: str | Path | None = None,
                  cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+                 cache_max_disk_bytes: int | None = DEFAULT_DISK_CAPACITY_BYTES,
+                 chips: int | None = None,
+                 topology: ChipTopology | None = None,
                  mapping_scheme: str | None = None,
                  eviction_mode: str = "rolling",
                  params: SimulationParams | None = None,
@@ -219,28 +193,47 @@ class Session:
         if impl not in IMPLS:
             raise ValueError(f"unknown kernel impl {impl!r}; "
                              f"available impls: {list(IMPLS)}")
+        if chips is not None and topology is not None \
+                and topology.n_chips != chips:
+            raise ValueError(f"chips={chips} contradicts "
+                             f"topology.n_chips={topology.n_chips}")
+        if topology is None and chips is not None:
+            topology = ChipTopology(n_chips=chips)
+        if backend == "multichip" and topology is None:
+            topology = ChipTopology()
+        if topology is not None and backend != "multichip":
+            raise ValueError("chips/topology require backend='multichip'; "
+                             f"got backend={backend!r}")
+        if topology is not None:
+            get_backend(topology.chip_backend)  # fail fast here too
         self.backend = backend
+        self.topology = topology
         self.impl = impl
         self.executor: Executor = get_executor(executor, workers=workers)
         self.cache = cache if cache is not None else \
-            ProgramCache(cache_capacity, cache_dir=cache_dir)
+            ProgramCache(cache_capacity, cache_dir=cache_dir,
+                         max_disk_bytes=cache_max_disk_bytes)
         self._local = threading.local()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Public verbs
     # ------------------------------------------------------------------
     def run(self, spec: WorkloadSpec) -> RunResult:
         """Execute one spec and return its :class:`RunResult`."""
+        self._ensure_open()
         return self._run_one(spec)
 
     def map(self, specs: Iterable[WorkloadSpec]) -> list[RunResult]:
         """Execute many specs over the session executor; results come back
         in submission order."""
+        self._ensure_open()
         return self._map_specs(list(specs))
 
     def submit(self, spec: WorkloadSpec):
         """Schedule one spec; returns a ``concurrent.futures.Future`` whose
         result is the :class:`RunResult`."""
+        self._ensure_open()
         if self.executor.name == "process":
             fn = partial(_process_spec_worker, self._subprocess_state())
         else:
@@ -248,8 +241,20 @@ class Session:
         return self.executor.submit(fn, spec)
 
     def close(self) -> None:
-        """Release executor resources (idempotent)."""
+        """Release executor resources; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self.executor.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` (or ``__exit__``) has run."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
 
     def __enter__(self) -> "Session":
         return self
@@ -303,10 +308,12 @@ class Session:
         return {
             "chip_config": chip.config,
             "backend": self.backend,
+            "topology": self.topology,
             "impl": self.impl,
             "executor": "serial",
             "cache_dir": self.cache.cache_dir,
             "cache_capacity": self.cache.capacity,
+            "cache_max_disk_bytes": self.cache.max_disk_bytes,
             "mapping_scheme": chip.mapping_scheme,
             "eviction_mode": chip.eviction_mode,
             "params": chip.params,
@@ -335,6 +342,8 @@ class Session:
         start = time.perf_counter()
         a_csr = _as_csr(spec.a)
         b_csr = _as_csr(spec.b) if spec.b is not None else None
+        if self.backend == "multichip":
+            return self._run_multichip_spgemm(spec, a_csr, b_csr, start)
         if spec.shards > 1:
             return self._run_sharded_spgemm(spec, a_csr, b_csr, start)
         tile = spec.tile_size or self.chip.config.mmh_tile_size
@@ -376,6 +385,10 @@ class Session:
 
         effective_b = b_csr if b_csr is not None else a_csr
         ranges = plan_row_shards(a_csr, spec.shards, effective_b)
+        if len(ranges) == 1:
+            # Degenerate plan (single row, empty matrix, one unit of work):
+            # run unsharded instead of compiling a one-shard copy.
+            return self._run_spgemm(_replace_spec(spec, shards=1))
         shard_specs = [
             SpGEMMSpec(a=a_csr.row_slice(lo, hi), b=effective_b,
                        tile_size=spec.tile_size, verify=spec.verify,
@@ -421,6 +434,86 @@ class Session:
             power_w=power_w, energy_j=energy_j, legacy=legacy,
             shard_results=shard_results)
 
+    def _multichip_backend(self):
+        """A configured :class:`~repro.backends.multichip.MultiChipBackend`:
+        session topology + program cache, fanning per-chip work out over the
+        session executor (inline when already inside a pool worker, so a
+        multichip spec inside a batch cannot deadlock the pool)."""
+        backend = get_backend("multichip")
+        backend.topology = self.topology
+        backend.cache = self.cache
+        if not getattr(self._local, "in_worker", False):
+            backend.executor = self.executor
+        return backend
+
+    def _multichip_power_and_digest(self, execution, tile: int, a_nnz: int,
+                                    b_nnz: int, source: str):
+        """Fleet power/energy (summed per chip) and the count digest that
+        stands in for a compiled program on multichip runs."""
+        power_w = energy_j = 0.0
+        for run in execution.chip_runs:
+            chip_power, chip_energy = self.chip._estimate_power(run.report)
+            power_w += chip_power
+            energy_j += chip_energy
+        digest = ProgramDigest(
+            n_instructions=sum(run.mmh for run in execution.chip_runs),
+            total_partial_products=sum(run.partial_products
+                                       for run in execution.chip_runs),
+            output_nnz=execution.output.nnz, shape=execution.output.shape,
+            tile_size=tile, a_nnz=a_nnz, b_nnz=b_nnz, source=source)
+        return power_w, energy_j, digest
+
+    def _run_multichip_spgemm(self, spec: SpGEMMSpec, a_csr: CSRMatrix,
+                              b_csr: CSRMatrix | None,
+                              start: float) -> RunResult:
+        """Assign row shards to N chip instances and reduce (tentpole path).
+
+        Each chip compiles and executes its own shard program on its own
+        :class:`~repro.backends.base.ExecutionContext`; the reduced output
+        is identical to the single-chip unsharded product.  Aggregate
+        cycles are ``max over chips + host reduce term``; power and energy
+        are summed across chips."""
+        from repro.core.api import SpGEMMRunResult
+
+        if spec.shards > 1:
+            raise ValueError(
+                "the multichip backend assigns row shards to chips itself; "
+                "set Session(chips=N) instead of SpGEMMSpec(shards=N)")
+        tile = spec.tile_size or self.chip.config.mmh_tile_size
+        execution = self._multichip_backend().execute_operands(
+            a_csr, b_csr, self.chip._context(self.impl), tile_size=tile,
+            source=spec.source, verify=spec.verify)
+        wall = time.perf_counter() - start
+        report = execution.report
+        effective_b = b_csr if b_csr is not None else a_csr
+        power_w, energy_j, digest = self._multichip_power_and_digest(
+            execution, tile, a_csr.nnz, effective_b.nnz, spec.source)
+        counters = report.counters if report is not None else {}
+        metrics = {
+            "cycles": report.cycles if report is not None else 0.0,
+            "gops": round(report.gops, 3) if report is not None else 0.0,
+            "mmh": digest.n_instructions,
+            "partial_products": digest.total_partial_products,
+            "output_nnz": execution.output.nnz,
+            "chips": execution.n_chips,
+            "shard_skew": counters.get("multichip.shard_skew"),
+            "verified": report.correct if report is not None else None,
+        }
+        provenance = self._provenance(cache_hit=execution.cache_hit,
+                                      wall=wall)
+        provenance.chips = execution.n_chips
+        legacy = SpGEMMRunResult(program=digest, report=report,
+                                 functional=None, output=execution.output,
+                                 power_w=power_w, energy_j=energy_j,
+                                 backend=self.backend)
+        activity = (self.chip._activity_from_report(report)
+                    if report is not None else {})
+        return RunResult(
+            kind="spgemm", label=spec.label, metrics=metrics,
+            activity=activity, provenance=provenance,
+            output=execution.output, report=report, program=digest,
+            power_w=power_w, energy_j=energy_j, legacy=legacy)
+
     # ------------------------------------------------------------------
     # GCN layer
     # ------------------------------------------------------------------
@@ -442,23 +535,37 @@ class Session:
                                      seed=spec.seed)
         a_csc = workload.adjacency_csc
         tile = self.chip.config.mmh_tile_size
-        key = self.cache.key(a_csc, workload.features, tile, kind="gcn")
-        program = self.cache.get(key)
-        cache_hit = program is not None
-        if program is None:
-            program = compile_gcn_aggregation(a_csc, workload.features,
-                                              tile_size=tile,
-                                              dataset=workload.dataset.name)
-            self.cache.put(key, program)
-        execution = get_backend(self.backend).execute(
-            program, self.chip._context(self.impl),
-            a_csr=csc_to_csr(a_csc), b_csr=workload.features,
-            verify=spec.verify)
+        if self.backend == "multichip":
+            # Each chip compiles its own shard of A @ X, so the
+            # whole-matrix aggregation program would be discarded: skip it
+            # and report a count digest, with power summed over the fleet
+            # exactly like the SpGEMM multichip path.
+            label = f"gcn-aggregation:{workload.dataset.name}"
+            execution = self._multichip_backend().execute_operands(
+                csc_to_csr(a_csc), workload.features,
+                self.chip._context(self.impl), tile_size=tile,
+                source=label, verify=spec.verify)
+            cache_hit = execution.cache_hit
+            power_w, energy_j, program = self._multichip_power_and_digest(
+                execution, tile, a_csc.nnz, workload.features.nnz, label)
+        else:
+            key = self.cache.key(a_csc, workload.features, tile, kind="gcn")
+            program = self.cache.get(key)
+            cache_hit = program is not None
+            if program is None:
+                program = compile_gcn_aggregation(
+                    a_csc, workload.features, tile_size=tile,
+                    dataset=workload.dataset.name)
+                self.cache.put(key, program)
+            execution = get_backend(self.backend).execute(
+                program, self.chip._context(self.impl),
+                a_csr=csc_to_csr(a_csc), b_csr=workload.features,
+                verify=spec.verify)
+            power_w, energy_j = self.chip._estimate_power(execution.report)
         report = execution.report
         combined = workload.layer.combination(execution.to_dense())
         combination_cycles = self.chip._combination_cycles(workload)
         aggregation_cycles = report.cycles if report is not None else 0.0
-        power_w, energy_j = self.chip._estimate_power(report)
         aggregation = SpGEMMRunResult(
             program=program, report=report, functional=execution.functional,
             output=execution.output, power_w=power_w, energy_j=energy_j,
@@ -479,10 +586,11 @@ class Session:
         }
         activity = (self.chip._activity_from_report(report)
                     if report is not None else {})
+        provenance = self._provenance(cache_hit=cache_hit, wall=wall)
+        provenance.chips = getattr(execution, "n_chips", 1)
         return RunResult(
             kind="gcn_layer", label=spec.label, metrics=metrics,
-            activity=activity,
-            provenance=self._provenance(cache_hit=cache_hit, wall=wall),
+            activity=activity, provenance=provenance,
             output=combined, report=report, program=program,
             power_w=power_w, energy_j=energy_j, legacy=legacy)
 
@@ -497,7 +605,8 @@ class Session:
                              "use 'cycle' or 'analytic'")
         payloads = [{"config": config, "a": spec.a, "b": spec.b,
                      "eviction_mode": spec.eviction_mode,
-                     "params": self.chip.params, "backend": self.backend}
+                     "params": self.chip.params, "backend": self.backend,
+                     "topology": self.topology}
                     for config in spec.configs]
         raw = dict(self.executor.map(_sweep_config_worker, payloads))
         table = raw if spec.normalize_to is None else \

@@ -22,6 +22,9 @@ from typing import Any, Sequence
 
 import numpy as np
 
+# Re-exported here so workload plumbing can be described with one import:
+# a ChipTopology is plain data exactly like the specs below.
+from repro.backends.multichip import ChipTopology  # noqa: F401
 from repro.compiler.program import Program
 from repro.sim.accelerator import SimulationReport
 from repro.sparse.csr import CSRMatrix
@@ -151,6 +154,7 @@ class Provenance:
             cache (in-memory or disk) instead of a fresh compile.
         wall_time_s: host wall-clock seconds for compile + execute.
         shards: number of row-group shards the workload was split into.
+        chips: number of chip instances a multichip run fanned out to.
     """
 
     backend: str = ""
@@ -160,6 +164,7 @@ class Provenance:
     cache_hit: bool = False
     wall_time_s: float = 0.0
     shards: int = 1
+    chips: int = 1
 
 
 @dataclass
@@ -243,4 +248,6 @@ class RunResult:
         }
         if self.provenance.shards > 1:
             row["shards"] = self.provenance.shards
+        if self.provenance.chips > 1:
+            row["chips"] = self.provenance.chips
         return {key: value for key, value in row.items() if value is not None}

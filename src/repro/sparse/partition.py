@@ -1,0 +1,124 @@
+"""Row-shard planning: split one SpGEMM into balanced row-group partitions.
+
+Rows of A partition the partial products of C = A @ B exactly — each row of
+C accumulates only products of the matching A row — so contiguous row
+ranges of A are the unit of both host-side sharded execution
+(:class:`~repro.core.session.Session` with ``shards > 1``) and multi-chip
+scale-out (:mod:`repro.backends.multichip`): per-range products reduce with
+:func:`~repro.sparse.convert.csr_vstack` into a result identical to the
+unsharded product.
+
+The planner lives in the sparse layer (below both the session and the
+backends) because it only ever touches operand structure; the historical
+import path ``repro.core.session.plan_row_shards`` re-exports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def estimate_row_partial_products(a_csr: CSRMatrix,
+                                  b_csr: CSRMatrix) -> np.ndarray:
+    """Exact partial products each row of A contributes to A @ B.
+
+    Row ``i`` of C accumulates ``sum(nnz(B[k, :]) for k in A[i, :])``
+    partial products — the same per-inner-index counts the columnar
+    symbolic pass reduces over, computed here with one gather and a
+    prefix sum (no symbolic pass, no Python loop).
+    """
+    if a_csr.shape[1] != b_csr.shape[0]:
+        raise ValueError(f"dimension mismatch: A is {a_csr.shape}, "
+                         f"B is {b_csr.shape}")
+    entry_weights = b_csr.row_nnz_counts()[a_csr.indices]
+    prefix = np.zeros(a_csr.nnz + 1, dtype=np.int64)
+    np.cumsum(entry_weights, out=prefix[1:])
+    return prefix[a_csr.indptr[1:]] - prefix[a_csr.indptr[:-1]]
+
+
+def plan_row_shards(a_csr: CSRMatrix, n_shards: int,
+                    b_csr: CSRMatrix | None = None,
+                    weights: np.ndarray | None = None
+                    ) -> list[tuple[int, int]]:
+    """Split the rows of A into up to ``n_shards`` contiguous groups
+    balanced by per-shard work.
+
+    With ``b_csr`` given, rows are weighted by their *exact* partial-product
+    count (nnz of each A row weighted by the matching B-row sizes — see
+    :func:`estimate_row_partial_products`), which is the quantity that
+    actually determines per-shard compile and execute cost; power-law graphs
+    shard far more evenly this way than under the older nnz-of-A proxy,
+    which remains the fallback when ``b_csr`` is omitted.  Row slices
+    partition the partial products of A @ B exactly, so the reduced result
+    is identical either way.
+
+    Returns half-open ``(start, stop)`` row ranges that cover every row
+    exactly once.  Degenerate requests return *fewer* shards instead of
+    producing empty-work shards that would flow into compile /
+    ``csr_vstack``:
+
+    * more shards than rows — clamped to the row count;
+    * leading/trailing/interior runs of all-zero-weight rows — every
+      planned shard carries at least one unit of work (zero-weight rows
+      are absorbed into a neighbouring shard);
+    * a structurally empty A (or empty product) — one shard spanning all
+      rows;
+    * a zero-row A — the single degenerate range ``[(0, 0)]``, which
+      callers reduce exactly like an unsharded run.
+
+    ``weights`` lets a caller that already computed the per-row weight
+    array (e.g. :func:`estimate_row_partial_products`) share it instead of
+    paying the gather again.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_rows = a_csr.shape[0]
+    if n_rows == 0:
+        return [(0, 0)]
+    if weights is None:
+        if b_csr is not None:
+            weights = estimate_row_partial_products(a_csr, b_csr)
+            if int(weights.sum()) == 0:  # structurally empty product
+                weights = a_csr.row_nnz_counts()
+        else:
+            weights = a_csr.row_nnz_counts()
+    # Plan over the rows that actually carry work: shard boundaries land
+    # on positive-weight rows only, so no shard can be all-empty (the old
+    # planner emitted zero-work slices that flowed into compile and
+    # csr_vstack on sparse or empty inputs).
+    positive = np.flatnonzero(weights > 0)
+    if positive.size == 0:  # all rows empty: one shard, no empty programs
+        return [(0, n_rows)]
+    n_shards = min(n_shards, int(positive.size))
+    if n_shards == 1:
+        return [(0, n_rows)]
+    cumulative = np.cumsum(weights[positive])
+    total = int(cumulative[-1])
+    cuts = [0]  # indices into the positive-row list
+    for shard in range(1, n_shards):
+        cut = int(np.searchsorted(cumulative, total * shard / n_shards,
+                                  side="left")) + 1
+        # Keep every shard non-empty even on pathological distributions.
+        cut = min(max(cut, cuts[-1] + 1),
+                  int(positive.size) - (n_shards - shard))
+        cuts.append(cut)
+    # Each interior boundary starts its shard at that positive row; the
+    # zero-weight rows before it ride along with the preceding shard.
+    bounds = [0, *(int(positive[c]) for c in cuts[1:]), n_rows]
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def shard_partial_products(a_csr: CSRMatrix,
+                           ranges: list[tuple[int, int]],
+                           b_csr: CSRMatrix | None = None,
+                           weights: np.ndarray | None = None) -> np.ndarray:
+    """Per-shard partial-product totals for a planned range list — the
+    histogram the multi-chip analytic fast path predicts efficiency from.
+    Pass ``weights`` to reuse an already-computed per-row weight array."""
+    if weights is None:
+        weights = estimate_row_partial_products(
+            a_csr, b_csr if b_csr is not None else a_csr)
+    return np.array([int(weights[lo:hi].sum()) for lo, hi in ranges],
+                    dtype=np.int64)

@@ -94,6 +94,76 @@ class TestProgramCache:
             ProgramCache(cache_dir=blocker)
 
 
+class TestDiskEviction:
+    """The on-disk tier is bounded: spills sweep oldest-mtime entries."""
+
+    def test_sweep_evicts_oldest_entry_over_cap(self, tmp_path):
+        import os
+
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path,
+                             max_disk_bytes=None)
+        cache.put(("key", 0), "program-0")
+        oldest = cache._disk_path(("key", 0))
+        entry_bytes = oldest.stat().st_size
+        os.utime(oldest, (1, 1))  # make it ancient
+        cache.max_disk_bytes = int(entry_bytes * 1.5)  # room for one entry
+        cache.put(("key", 1), "program-1")
+        assert not oldest.exists()
+        assert cache._disk_path(("key", 1)).exists()
+        assert cache.disk_evictions >= 1
+        assert cache.stats()["disk_entries"] == 1
+
+    def test_disk_hit_touch_protects_entry_from_sweep(self, tmp_path):
+        import os
+
+        writer = ProgramCache(capacity=4, cache_dir=tmp_path,
+                              max_disk_bytes=None)
+        writer.put(("key", 0), "program-0")
+        writer.put(("key", 1), "program-1")
+        hot = writer._disk_path(("key", 0))
+        cold = writer._disk_path(("key", 1))
+        os.utime(hot, (1, 1))
+        os.utime(cold, (2, 2))
+        # A fresh process hits entry 0 on disk, touching its mtime.
+        reader = ProgramCache(capacity=4, cache_dir=tmp_path,
+                              max_disk_bytes=None)
+        assert reader.get(("key", 0)) == "program-0"
+        entry_bytes = hot.stat().st_size
+        reader.max_disk_bytes = int(entry_bytes * 2.5)  # room for two
+        reader.put(("key", 2), "program-2")
+        assert hot.exists()       # recently used: survives
+        assert not cold.exists()  # oldest mtime: swept
+
+    def test_oversized_newest_entry_survives(self, tmp_path):
+        # A single program larger than the cap must stay cached; the sweep
+        # only evicts older entries.
+        cache = ProgramCache(capacity=2, cache_dir=tmp_path, max_disk_bytes=1)
+        cache.put(("key", 0), "program-0")
+        assert cache._disk_path(("key", 0)).exists()
+
+    def test_unbounded_tier_never_sweeps(self, tmp_path):
+        cache = ProgramCache(capacity=8, cache_dir=tmp_path,
+                             max_disk_bytes=None)
+        for i in range(5):
+            cache.put(("key", i), f"program-{i}")
+        assert cache.stats()["disk_entries"] == 5
+        assert cache.disk_evictions == 0
+
+    def test_clear_disk_and_stats(self, tmp_path):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        cache.put(("key", 0), "program-0")
+        cache.put(("key", 1), "program-1")
+        stats = cache.disk_stats()
+        assert stats["disk_entries"] == 2
+        assert stats["disk_bytes"] > 0
+        assert cache.clear_disk() == 2
+        assert cache.disk_stats()["disk_entries"] == 0
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_clear_disk_without_dir_is_a_noop(self):
+        assert ProgramCache(capacity=2).clear_disk() == 0
+
+
 class TestRunBatch:
     def test_repeated_jobs_hit_the_compile_cache(self, chip, graphs):
         queue = WorkloadQueue()

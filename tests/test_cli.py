@@ -208,3 +208,76 @@ class TestSessionIntegration:
         out = capsys.readouterr().out
         assert "thread" in out
         assert "wall_time_s" in out
+
+
+class TestMultiChipCommand:
+    def test_multichip_run_reports_chip_columns(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "80",
+                     "--config", "Tile-4", "--backend", "multichip",
+                     "--chips", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chips" in out
+        assert "shard_skew" in out
+        assert "multichip" in out
+
+    def test_chips_without_multichip_backend_is_a_clean_error(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "analytic",
+                     "--chips", "4"])
+        assert code == 2
+        assert "multichip" in capsys.readouterr().err
+
+    def test_chip_backend_without_multichip_is_a_clean_error(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "cycle",
+                     "--chip-backend", "analytic"])
+        assert code == 2
+        assert "--chip-backend requires" in capsys.readouterr().err
+
+    def test_multichip_backend_listed(self):
+        args = build_parser().parse_args(["run", "--backend", "multichip",
+                                          "--chips", "4",
+                                          "--chip-backend", "cycle"])
+        assert args.backend == "multichip"
+        assert args.chips == 4
+        assert args.chip_backend == "cycle"
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_dir(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert str(tmp_path) in out
+
+    def test_stats_then_clear_round_trip(self, tmp_path, capsys):
+        assert main(["run", "--dataset", "wiki-Vote", "--max-nodes", "64",
+                     "--config", "Tile-4", "--backend", "analytic",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "| 1 " in out or "| 1" in out  # one cached program
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_stats_on_missing_dir_does_not_create_it(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_clear_missing_dir_is_a_noop(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+        assert "nothing to clear" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_cache_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])

@@ -81,6 +81,40 @@ class TestConstruction:
     def test_context_manager_closes(self, wiki):
         with Session("Tile-4", backend="analytic") as session:
             assert session.run(SpGEMMSpec(a=wiki)).metrics["cycles"] > 0
+        assert session.closed
+
+
+class TestCloseLifecycle:
+    def test_close_is_idempotent(self, wiki):
+        session = Session("Tile-4", backend="analytic")
+        session.run(SpGEMMSpec(a=wiki))
+        session.close()
+        session.close()  # second close must be a no-op, not an error
+        assert session.closed
+
+    def test_exit_then_close_is_safe(self, wiki):
+        with Session("Tile-4", backend="analytic") as session:
+            session.run(SpGEMMSpec(a=wiki))
+        session.close()
+        assert session.closed
+
+    def test_pooled_executor_close_idempotent(self, wiki):
+        session = Session("Tile-4", backend="analytic", executor="thread",
+                          workers=2)
+        session.run(SpGEMMSpec(a=wiki))
+        session.close()
+        session.close()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_use_after_close_raises_clearly(self, wiki, executor):
+        session = Session("Tile-4", backend="analytic", executor=executor)
+        session.close()
+        with pytest.raises(RuntimeError, match="session is closed"):
+            session.run(SpGEMMSpec(a=wiki))
+        with pytest.raises(RuntimeError, match="session is closed"):
+            session.map([SpGEMMSpec(a=wiki)])
+        with pytest.raises(RuntimeError, match="session is closed"):
+            session.submit(SpGEMMSpec(a=wiki))
 
 
 class TestRunSpGEMM:
