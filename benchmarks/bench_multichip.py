@@ -3,8 +3,9 @@
 Runs one SpGEMM (A @ A) on a synthetic power-law graph through the
 ``multichip`` backend at increasing chip counts and records, per point:
 
-* aggregate cycle-model cycles (max over chips + host reduce term) and the
-  speedup over the single-chip unsharded analytic run;
+* aggregate cycle-model cycles (max over chips + host reduce term + the
+  cold-run B-broadcast term) and the speedup over the single-chip
+  unsharded analytic run;
 * scale-out efficiency (speedup / chips) and shard skew;
 * the analytic fast path's *predicted* speedup / efficiency (from the
   per-shard partial-product histogram alone, no compile / no simulation)
@@ -84,6 +85,7 @@ def run(nodes: int, chip_counts: list[int], dataset: str = "wiki-Vote",
             "efficiency": round(speedup / chips, 4),
             "shard_skew": counters["multichip.shard_skew"],
             "reduce_cycles": counters["multichip.reduce_cycles"],
+            "broadcast_cycles": counters["multichip.broadcast_cycles"],
             "predicted_speedup": prediction["predicted_speedup"],
             "predicted_efficiency": prediction["efficiency"],
             "power_w": round(result.power_w, 2),

@@ -1,0 +1,229 @@
+"""Serving benchmark: micro-batched throughput / latency vs batch size.
+
+Boots the full serving stack (bounded queue -> micro-batcher ->
+``Session`` -> asyncio HTTP front-end) in-process and drives it with a
+closed-loop HTTP client at increasing micro-batch sizes.  ``max_batch=1``
+is the baseline the ISSUE acceptance bar names: single-request
+round-trips, one in flight at a time.  Larger points allow ``max_batch``
+concurrent in-flight requests which the server coalesces into
+micro-batches, so the measured speedup is exactly what micro-batching
+buys (request coalescing + program-cache amortisation + one dispatch per
+batch instead of per request).
+
+Per point the record keeps: wall time, requests/s, speedup over the
+single-request baseline, mean served batch size, coalesced-request count,
+and p50/p95 server-side latency.  A byte-identity probe asserts that a
+served product equals the direct ``Session.run`` product array for array.
+
+Results land in ``benchmarks/results/bench_serving.json`` — the same
+record-don't-assert contract the other benches keep.  The acceptance bar
+for the serving story is >= 2x throughput at ``max_batch=8`` over
+single-request round-trips on the 2000-node graph.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--nodes 2000]
+           PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Session, SpGEMMSpec
+from repro.datasets import load_dataset
+from repro.serve import BackgroundServer, ReproServer
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_serving.json"
+
+
+def _post(host: str, port: int, connection: http.client.HTTPConnection,
+          payload: dict) -> dict:
+    connection.request("POST", "/v1/spgemm", body=json.dumps(payload),
+                       headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    body = json.loads(response.read())
+    if response.status != 200:
+        raise RuntimeError(f"serving request failed: {response.status} "
+                           f"{body}")
+    return body
+
+
+def _get(host: str, port: int, path: str) -> dict:
+    connection = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def bench_point(session: Session, dataset: str, nodes: int, seed: int,
+                max_batch: int, n_requests: int,
+                max_delay_ms: float) -> dict:
+    """One serving configuration: fresh server + stats, warm session."""
+    server = ReproServer(session, port=0, max_batch=max_batch,
+                         max_delay_ms=max_delay_ms)
+    with BackgroundServer(server) as background:
+        host, port = "127.0.0.1", background.port
+        payload = {"dataset": dataset, "max_nodes": nodes, "seed": seed,
+                   "verify": False}
+
+        # Untimed warm-up: server-side dataset synthesis + program compile
+        # happen here, so every timed point measures a warm cache (the
+        # steady state a long-lived server runs in).
+        warm = http.client.HTTPConnection(host, port, timeout=120)
+        _post(host, port, warm, {**payload, "label": "warmup"})
+        warm.close()
+
+        concurrency = max_batch  # closed loop: max_batch in flight
+
+        def worker(worker_id: int) -> int:
+            connection = http.client.HTTPConnection(host, port, timeout=120)
+            served = 0
+            try:
+                for index in range(worker_id, n_requests, concurrency):
+                    _post(host, port, connection,
+                          {**payload, "label": f"b{max_batch}-r{index}"})
+                    served += 1
+            finally:
+                connection.close()
+            return served
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            served = sum(pool.map(worker, range(concurrency)))
+        wall = time.perf_counter() - start
+        assert served == n_requests
+        stats = _get(host, port, "/stats")
+    return {
+        "max_batch": max_batch,
+        "requests": n_requests,
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(n_requests / wall, 2),
+        "mean_batch_size": stats["mean_batch_size"],
+        "coalesced": stats["coalesced"],
+        "latency_p50_ms": stats["latency_p50_ms"],
+        "latency_p95_ms": stats["latency_p95_ms"],
+    }
+
+
+def byte_identity_probe(session: Session, dataset: str, nodes: int,
+                        seed: int) -> bool:
+    """A served product must equal the direct Session.run product,
+    array for array."""
+    adjacency = load_dataset(dataset, max_nodes=nodes,
+                             seed=seed).adjacency_csr()
+    direct = session.run(SpGEMMSpec(a=adjacency, verify=False,
+                                    label="direct"))
+    server = ReproServer(session, port=0, max_batch=1)
+    with BackgroundServer(server) as background:
+        connection = http.client.HTTPConnection("127.0.0.1",
+                                                background.port, timeout=120)
+        row = _post("127.0.0.1", background.port, connection,
+                    {"dataset": dataset, "max_nodes": nodes, "seed": seed,
+                     "verify": False, "include_output": True})
+        connection.close()
+    served = row["output"]
+    return (np.array_equal(np.asarray(served["indptr"]),
+                           direct.output.indptr)
+            and np.array_equal(np.asarray(served["indices"]),
+                               direct.output.indices)
+            and np.array_equal(np.asarray(served["data"]),
+                               direct.output.data))
+
+
+def run(nodes: int, batch_sizes: list[int], n_requests: int,
+        dataset: str = "wiki-Vote", config: str = "Tile-16",
+        seed: int = 0, max_delay_ms: float = 5.0) -> dict:
+    record = {
+        "dataset": dataset,
+        "nodes": nodes,
+        "config": config,
+        "requests_per_point": n_requests,
+        "max_delay_ms": max_delay_ms,
+        "python_version": platform.python_version(),
+        "workload": "operand-identical requests with distinct labels "
+                    "(the coalescing + cache-amortisation case)",
+        "points": [],
+    }
+    with Session(config, backend="analytic") as session:
+        record["byte_identical"] = byte_identity_probe(session, dataset,
+                                                       nodes, seed)
+        for max_batch in batch_sizes:
+            point = bench_point(session, dataset, nodes, seed, max_batch,
+                                n_requests, max_delay_ms)
+            record["points"].append(point)
+    baseline = next((p for p in record["points"] if p["max_batch"] == 1),
+                    None)
+    for point in record["points"]:
+        point["speedup"] = (round(point["throughput_rps"]
+                                  / baseline["throughput_rps"], 3)
+                            if baseline else None)
+    by_batch = {point["max_batch"]: point for point in record["points"]}
+    if 8 in by_batch and baseline:
+        record["speedup_at_batch_8"] = by_batch[8]["speedup"]
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2000,
+                        help="synthetic graph size (default: 2000)")
+    parser.add_argument("--dataset", default="wiki-Vote")
+    parser.add_argument("--config", default="Tile-16")
+    parser.add_argument("--requests", type=int, default=48,
+                        help="requests per measured point (default: 48)")
+    parser.add_argument("--batches", type=int, nargs="*",
+                        default=[1, 2, 4, 8, 16],
+                        help="max_batch sizes to sweep (default: 1 2 4 8 16)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI "
+                             "(300 nodes, 12 requests, batches 1 and 4, "
+                             "no result file)")
+    parser.add_argument("--output", default=str(RESULTS_PATH))
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.nodes = 300
+        args.requests = 12
+        args.batches = [1, 4]
+
+    record = run(args.nodes, args.batches, args.requests,
+                 dataset=args.dataset, config=args.config)
+
+    print(f"{record['dataset']}  nodes={record['nodes']}  "
+          f"config={record['config']}  requests={record['requests_per_point']}"
+          f"  byte_identical={record['byte_identical']}")
+    for point in record["points"]:
+        speedup = ("   n/a " if point["speedup"] is None
+                   else f"{point['speedup']:6.2f}x")
+        print(f"max_batch={point['max_batch']:3d}  "
+              f"throughput={point['throughput_rps']:8.1f} req/s  "
+              f"speedup={speedup}  "
+              f"mean_batch={point['mean_batch_size']:5.2f}  "
+              f"coalesced={point['coalesced']:4d}  "
+              f"p50={point['latency_p50_ms']:7.2f}ms  "
+              f"p95={point['latency_p95_ms']:7.2f}ms")
+    if not record["byte_identical"]:
+        print("ERROR: served output diverged from direct Session.run")
+        return 1
+
+    if args.smoke:
+        print("[smoke mode: results not saved]")
+        return 0
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[saved {output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Drive the serving subsystem over HTTP: the `repro serve` client.
+
+Two modes:
+
+* ``--port N`` (optionally ``--host``): talk to an already-running
+  ``repro serve`` instance — this is what the CI smoke job does.
+* no ``--port``: self-hosted — boot a :class:`ReproServer` on an
+  ephemeral port inside this process, drive it, and shut it down.  This
+  keeps the example runnable headless (the examples CI job executes every
+  script with no arguments).
+
+The client fires a burst of concurrent SpGEMM requests against the same
+graph (so the micro-batcher coalesces them and the program cache is hit
+after the first), one GCN-layer request, and then reads ``/stats`` to
+show queue depth, batch sizes, coalescing, and latency percentiles.
+
+Run with:  PYTHONPATH=src python examples/serving_client.py
+           PYTHONPATH=src python examples/serving_client.py --port 8077
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+
+def post(host: str, port: int, path: str, payload: dict) -> tuple[int, dict]:
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("POST", path, body=json.dumps(payload),
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get(host: str, port: int, path: str) -> tuple[int, dict]:
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def drive(host: str, port: int, requests: int = 8) -> int:
+    status, health = get(host, port, "/healthz")
+    print(f"GET /healthz -> {status}  {health}")
+    if status != 200:
+        return 1
+
+    # A burst of concurrent requests against the same graph: the server
+    # coalesces operand-identical specs into one execution per batch.
+    def spgemm(index: int) -> tuple[int, dict]:
+        return post(host, port, "/v1/spgemm",
+                    {"dataset": "wiki-Vote", "max_nodes": 256,
+                     "verify": False, "label": f"req-{index}"})
+
+    with ThreadPoolExecutor(max_workers=requests) as pool:
+        outcomes = list(pool.map(spgemm, range(requests)))
+    for index, (status, row) in enumerate(outcomes):
+        print(f"POST /v1/spgemm req-{index} -> {status}  "
+              f"cycles={row.get('cycles')}  "
+              f"output_nnz={row.get('output_nnz')}  "
+              f"cache_hit={row.get('cache_hit')}")
+        if status != 200:
+            return 1
+    cycles = {row["cycles"] for _, row in outcomes}
+    if len(cycles) != 1:
+        print(f"ERROR: identical requests disagreed on cycles: {cycles}")
+        return 1
+
+    status, row = post(host, port, "/v1/gcn",
+                       {"dataset": "cora", "max_nodes": 96,
+                        "feature_dim": 8, "hidden_dim": 4})
+    print(f"POST /v1/gcn -> {status}  total_cycles={row.get('total_cycles')}")
+    if status != 200:
+        return 1
+
+    status, stats = get(host, port, "/stats")
+    print(f"GET /stats -> {status}")
+    for key in ("requests", "responses", "batches", "mean_batch_size",
+                "coalesced", "cache_hit_rate", "latency_p50_ms",
+                "latency_p95_ms"):
+        print(f"  {key:>16}: {stats.get(key)}")
+    return 0 if status == 200 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="port of a running `repro serve`; omit to "
+                             "self-host an in-process server")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="size of the concurrent SpGEMM burst")
+    args = parser.parse_args()
+
+    if args.port is not None:
+        return drive(args.host, args.port, requests=args.requests)
+
+    # Self-hosted mode: boot the whole serving stack in this process.
+    from repro.core import Session
+    from repro.serve import BackgroundServer, ReproServer
+
+    print("[no --port given: self-hosting a server on an ephemeral port]")
+    with Session("Tile-16", backend="analytic") as session:
+        server = ReproServer(session, port=0, max_batch=8, max_delay_ms=10)
+        with BackgroundServer(server) as background:
+            return drive("127.0.0.1", background.port,
+                         requests=args.requests)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

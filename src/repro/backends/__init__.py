@@ -32,6 +32,7 @@ from repro.backends.analytic import (
     AnalyticBackend,
 )
 from repro.backends.multichip import (
+    SCALEOUT_CALIBRATION_BAND,
     ChipTopology,
     MultiChipBackend,
     MultiChipExecutionResult,
@@ -53,4 +54,5 @@ __all__ = [
     "ChipTopology",
     "predict_scaleout",
     "CALIBRATED_TOLERANCE",
+    "SCALEOUT_CALIBRATION_BAND",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: the Dashboard / NeuraViz replacement.
 
-Seven subcommands cover the workflows the paper's WebGUI exposes::
+Eight subcommands cover the workflows the paper's WebGUI exposes::
 
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
@@ -13,6 +13,7 @@ Seven subcommands cover the workflows the paper's WebGUI exposes::
         --executor process --workers 4 --cache-dir ~/.cache/neurachip-repro
     python -m repro cache stats                   # on-disk program-cache tier
     python -m repro cache clear
+    python -m repro serve --backend analytic --max-batch 8 --max-delay-ms 5
 
 Every workload subcommand routes through one
 :class:`~repro.core.session.Session`, so they all share the same knobs:
@@ -253,6 +254,28 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve SpGEMM / GCN requests over HTTP with micro-batching."""
+    import asyncio
+
+    from repro.serve import ReproServer
+
+    session = _session(args, default_backend="analytic")
+    server = ReproServer(session, host=args.host, port=args.port,
+                         max_batch=args.max_batch,
+                         max_delay_ms=args.max_delay_ms,
+                         queue_depth=args.queue_depth,
+                         request_timeout_s=args.request_timeout,
+                         coalesce=not args.no_coalesce)
+    try:
+        asyncio.run(server.run_forever())
+    except KeyboardInterrupt:
+        pass  # run_forever's signal handler normally wins; this is backup
+    finally:
+        session.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -355,6 +378,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache directory (default: the versioned "
                               "per-user cache dir)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="serve SpGEMM/GCN requests over HTTP with "
+                      "micro-batching")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8077,
+                         help="listen port; 0 picks an ephemeral port "
+                              "(printed on startup)")
+    p_serve.add_argument("--config", default="Tile-16")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="dispatch a micro-batch once this many "
+                              "requests are waiting (default: %(default)s)")
+    p_serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                         help="... or once the oldest waiting request has "
+                              "aged this long (default: %(default)s)")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="bounded request queue; beyond it requests "
+                              "are load-shed with 503 (default: %(default)s)")
+    p_serve.add_argument("--request-timeout", type=float, default=60.0,
+                         help="per-request deadline in seconds, queue wait "
+                              "+ execution (default: %(default)s)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="disable serving operand-identical requests "
+                              "from a single execution")
+    add_session(p_serve, default="analytic")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,64 @@
+"""Async serving subsystem: request queue -> micro-batches -> Session.
+
+Long-lived serving for the NeuraChip reproduction.  Requests (SpGEMM or
+GCN-layer specs) enter a bounded :class:`RequestQueue`, the
+:class:`MicroBatcher` coalesces them into size/deadline-bounded
+micro-batches dispatched through one
+:class:`~repro.core.session.Session` (amortising the persistent program
+cache across requests), a scheduling policy picks between splitting each
+job across all chips and packing whole jobs onto individual chips on
+multi-chip fleets, and :class:`ReproServer` fronts the whole stack with a
+stdlib-only asyncio HTTP/1.1 + JSON server (``repro serve`` on the CLI).
+
+Serving results are byte-identical to a direct ``session.run`` of the
+same spec; micro-batching only changes *when* and *where* work runs,
+never what it computes.
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_MS,
+    MicroBatcher,
+    ServingStats,
+)
+from repro.serve.http import (
+    DEFAULT_REQUEST_TIMEOUT_S,
+    BackgroundServer,
+    ReproServer,
+)
+from repro.serve.policy import (
+    ALL_CHIPS_PER_JOB,
+    WHOLE_JOBS_PER_CHIP,
+    ScheduleDecision,
+    choose_schedule,
+)
+from repro.serve.queue import (
+    DEFAULT_QUEUE_DEPTH,
+    QueueClosed,
+    QueueOverflow,
+    RequestQueue,
+    ServeError,
+    ServeRequest,
+    ServeTimeout,
+)
+
+__all__ = [
+    "ReproServer",
+    "BackgroundServer",
+    "MicroBatcher",
+    "ServingStats",
+    "RequestQueue",
+    "ServeRequest",
+    "ServeError",
+    "QueueOverflow",
+    "QueueClosed",
+    "ServeTimeout",
+    "ScheduleDecision",
+    "choose_schedule",
+    "ALL_CHIPS_PER_JOB",
+    "WHOLE_JOBS_PER_CHIP",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_DELAY_MS",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_REQUEST_TIMEOUT_S",
+]

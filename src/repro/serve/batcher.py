@@ -1,0 +1,344 @@
+"""Micro-batching dispatcher: coalesce queued requests into Session.map.
+
+The :class:`MicroBatcher` owns a background thread that repeatedly pulls a
+size/deadline-bounded batch from the :class:`~repro.serve.queue.RequestQueue`
+and dispatches it through the serving session:
+
+* **Coalescing**: requests whose specs are operand-identical (same A / B
+  fingerprints, tile size, verify flag, shard count) execute **once**; the
+  duplicates receive the same result re-labelled per request.  Combined
+  with the session's persistent program cache this is where micro-batching
+  pays: a burst of requests against the same graph costs one compile and
+  one execution.
+* **Scheduling**: on multi-chip sessions the
+  :mod:`~repro.serve.policy` layer chooses per batch between splitting
+  every job across all chips (the ``multichip`` backend) and running
+  whole jobs on individual chips (a single-chip twin session whose
+  thread executor is as wide as the fleet) — both produce byte-identical
+  outputs, so the choice is purely a throughput decision.
+* **Isolation**: a failing request fails *its* future; the batch falls
+  back to per-spec execution so one poison request cannot take down its
+  batch-mates.
+* **Lifecycle**: cancelled futures are skipped through the standard
+  ``set_running_or_notify_cancel`` handshake, expired deadlines fail with
+  :class:`~repro.serve.queue.ServeTimeout`, and :meth:`MicroBatcher.stop`
+  drains the queue, serves what is left, and fails anything unservable.
+
+:class:`ServingStats` aggregates the counters the ``/stats`` endpoint
+reports: queue depth, batch-size distribution, coalescing and shed
+counts, scheduling decisions, cache hit rate, and p50/p95 latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import replace as _replace_result
+
+from repro.core.runner import matrix_fingerprint
+from repro.core.session import Session
+from repro.core.specs import RunResult, SpGEMMSpec, WorkloadSpec
+from repro.serve.policy import (
+    ALL_CHIPS_PER_JOB,
+    ScheduleDecision,
+    choose_schedule,
+)
+from repro.serve.queue import (
+    QueueClosed,
+    RequestQueue,
+    ServeRequest,
+    ServeTimeout,
+)
+
+#: Default micro-batch bounds: dispatch as soon as 8 requests are waiting,
+#: or after 5 ms, whichever comes first.
+DEFAULT_MAX_BATCH = 8
+DEFAULT_MAX_DELAY_MS = 5.0
+
+#: Reservoir size for the latency / batch-size distributions.
+_RESERVOIR = 2048
+
+
+def _percentile(sample: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0.0 when empty)."""
+    if not sample:
+        return 0.0
+    ordered = sorted(sample)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServingStats:
+    """Thread-safe counters and distributions for the serving layer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.requests = 0          # accepted into the queue
+        self.responses = 0         # futures resolved with a result
+        self.failures = 0          # futures resolved with an exception
+        self.timeouts = 0          # deadline expired before dispatch
+        self.cancelled = 0         # cancelled while queued
+        self.coalesced = 0         # duplicates served by a batch-mate's run
+        self.batches = 0           # micro-batches dispatched
+        self.scale_out_batches = 0  # batches scheduled whole-jobs-per-chip
+        self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)
+        self._latencies: deque[float] = deque(maxlen=_RESERVOIR)
+
+    def add(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def record_batch(self, size: int, decision: ScheduleDecision) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batch_sizes.append(size)
+            if decision.scale_out:
+                self.scale_out_batches += 1
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def snapshot(self, queue_depth: int = 0, shed: int = 0,
+                 cache: dict | None = None) -> dict:
+        """Flat dict for the ``/stats`` endpoint."""
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            latencies = list(self._latencies)
+            row = {
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "queue_depth": queue_depth,
+                "requests": self.requests,
+                "responses": self.responses,
+                "failures": self.failures,
+                "shed": shed,
+                "timeouts": self.timeouts,
+                "cancelled": self.cancelled,
+                "coalesced": self.coalesced,
+                "batches": self.batches,
+                "scale_out_batches": self.scale_out_batches,
+            }
+        row["mean_batch_size"] = (round(sum(sizes) / len(sizes), 3)
+                                  if sizes else 0.0)
+        row["max_batch_size"] = max(sizes) if sizes else 0
+        row["latency_p50_ms"] = round(_percentile(latencies, 0.50) * 1e3, 3)
+        row["latency_p95_ms"] = round(_percentile(latencies, 0.95) * 1e3, 3)
+        if cache:
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            row["cache_hits"] = cache.get("hits", 0)
+            row["cache_misses"] = cache.get("misses", 0)
+            row["cache_hit_rate"] = (round(cache["hits"] / lookups, 4)
+                                     if lookups else 0.0)
+        return row
+
+
+def _coalesce_key(spec: WorkloadSpec):
+    """Identity key for batch-level request coalescing, or ``None`` when
+    the spec kind is not coalescible.  ``label`` and ``source`` are
+    deliberately excluded (the program cache key ignores ``source`` too):
+    two requests for the same product under different names share one
+    execution and get re-labelled copies of the result."""
+    if not isinstance(spec, SpGEMMSpec):
+        return None
+    a, b = spec.a, spec.b
+    if not hasattr(a, "indptr") or (b is not None and
+                                    not hasattr(b, "indptr")):
+        return None  # un-fingerprintable operand (dense ndarray, ...)
+    return (matrix_fingerprint(a),
+            None if b is None else matrix_fingerprint(b),
+            spec.tile_size, spec.verify, spec.shards)
+
+
+class MicroBatcher:
+    """Background dispatcher turning queued requests into session batches.
+
+    Args:
+        session: the serving :class:`~repro.core.session.Session`.
+        queue: the bounded :class:`RequestQueue` requests arrive on.
+        max_batch: dispatch as soon as this many requests are buffered.
+        max_delay_ms: ... or once the oldest buffered request has waited
+            this long (the latency the first request in a batch donates to
+            fill the batch).
+        coalesce: serve operand-identical requests from one execution.
+        policy: per-batch scheduling decision function; defaults to
+            :func:`~repro.serve.policy.choose_schedule` (only consulted on
+            multi-chip sessions).
+    """
+
+    def __init__(self, session: Session, queue: RequestQueue, *,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay_ms: float = DEFAULT_MAX_DELAY_MS,
+                 coalesce: bool = True,
+                 policy=choose_schedule,
+                 stats: ServingStats | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.session = session
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_ms / 1e3
+        self.coalesce = coalesce
+        self.policy = policy
+        self.stats = stats if stats is not None else ServingStats()
+        self._thread: threading.Thread | None = None
+        self._scale_out_session: Session | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Start the dispatch thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._loop,
+                                            name="repro-serve-batcher",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float | None = 30.0) -> None:
+        """Close the queue, serve what is already buffered, fail the rest,
+        and join the dispatch thread.  Safe to call more than once."""
+        self.queue.close()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout_s)
+            self._thread = None
+        for request in self.queue.drain():  # unreachable after a clean join
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    QueueClosed("server shut down before dispatch"))
+        if self._scale_out_session is not None:
+            self._scale_out_session.close()
+            self._scale_out_session = None
+
+    def _loop(self) -> None:
+        while True:
+            batch = self.queue.get_batch(self.max_batch, self.max_delay_s)
+            if not batch:
+                return  # queue closed and drained
+            try:
+                self._serve_batch(batch)
+            except Exception as error:  # noqa: BLE001 - thread must survive
+                # Anything escaping the dispatch path (policy, coalescing,
+                # result resolution) fails this batch's futures — never the
+                # dispatch thread, or every later request would hang.
+                self._fail_batch(batch, error)
+
+    def _fail_batch(self, batch: list[ServeRequest],
+                    error: Exception) -> None:
+        for request in batch:
+            future = request.future
+            if future.done():
+                continue
+            try:
+                future.set_exception(error)
+            except Exception:  # noqa: BLE001 - cancelled mid-flight
+                continue
+            self.stats.add("failures")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _serve_batch(self, batch: list[ServeRequest]) -> None:
+        now = time.monotonic()
+        live: list[ServeRequest] = []
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                self.stats.add("cancelled")
+                continue
+            if request.expired(now):
+                self.stats.add("timeouts")
+                request.future.set_exception(ServeTimeout(
+                    "request deadline expired while queued"))
+                continue
+            live.append(request)
+        if not live:
+            return
+        groups = self._group(live)
+        try:
+            decision = self.policy([group[0][0].spec for group in groups],
+                                   self.session.topology)
+        except Exception:  # noqa: BLE001 - a policy bug must not fail a batch
+            decision = ScheduleDecision(
+                ALL_CHIPS_PER_JOB, len(groups),
+                self.session.topology.n_chips
+                if self.session.topology is not None else 1,
+                1.0, "policy raised; fell back to scale-up")
+        target = (self._whole_jobs_session() if decision.scale_out
+                  else self.session)
+        specs = [group[0][0].spec for group in groups]
+        try:
+            results = target.map(specs)
+        except Exception:
+            # One bad spec poisons Session.map for the whole batch; fall
+            # back to per-spec execution so failures stay per-request.
+            results = [self._run_isolated(target, spec) for spec in specs]
+        for group, result in zip(groups, results):
+            self._resolve(group, result)
+        self.stats.record_batch(len(live), decision)
+
+    def _group(self, live: list[ServeRequest]
+               ) -> list[list[tuple[ServeRequest, bool]]]:
+        """Partition the batch into execution groups: each group is the
+        requests served by one execution, first request first."""
+        if not self.coalesce:
+            return [[(request, True)] for request in live]
+        groups: list[list[tuple[ServeRequest, bool]]] = []
+        by_key: dict = {}
+        for request in live:
+            key = _coalesce_key(request.spec)
+            if key is not None and key in by_key:
+                groups[by_key[key]].append((request, False))
+                self.stats.add("coalesced")
+                continue
+            if key is not None:
+                by_key[key] = len(groups)
+            groups.append([(request, True)])
+        return groups
+
+    def _run_isolated(self, target: Session, spec: WorkloadSpec):
+        """Run one spec, returning the result or the exception itself."""
+        try:
+            return target.run(spec)
+        except Exception as error:  # noqa: BLE001 - mirrored into futures
+            return error
+
+    def _resolve(self, group: list[tuple[ServeRequest, bool]],
+                 result) -> None:
+        done = time.monotonic()
+        for request, is_primary in group:
+            if isinstance(result, Exception):
+                self.stats.add("failures")
+                request.future.set_exception(result)
+                continue
+            value: RunResult = result
+            if not is_primary and value.label != request.spec.label:
+                # A coalesced duplicate: same execution, its own label.
+                value = _replace_result(value, label=request.spec.label)
+            request.future.set_result(value)
+            self.stats.add("responses")
+            self.stats.record_latency(done - request.enqueued_at)
+
+    # ------------------------------------------------------------------
+    # Whole-jobs-per-chip twin session
+    # ------------------------------------------------------------------
+    def _whole_jobs_session(self) -> Session:
+        """A single-chip twin of the multichip serving session: same chip
+        and program cache, the per-chip backend, and a thread executor as
+        wide as the fleet — so each chip runs complete jobs in parallel.
+        Outputs are byte-identical either way (the multichip reduce
+        reproduces the single-chip product exactly)."""
+        if self._scale_out_session is None:
+            topology = self.session.topology
+            self._scale_out_session = Session(
+                self.session.chip,
+                backend=topology.chip_backend,
+                impl=self.session.impl,
+                executor="thread",
+                workers=topology.n_chips,
+                cache=self.session.cache)
+        return self._scale_out_session

@@ -1,0 +1,481 @@
+"""Asyncio HTTP/1.1 front-end for the serving subsystem (stdlib only).
+
+:class:`ReproServer` glues the serving stack together: a bounded
+:class:`~repro.serve.queue.RequestQueue`, the
+:class:`~repro.serve.batcher.MicroBatcher` dispatching micro-batches
+through one :class:`~repro.core.session.Session`, and an
+``asyncio.start_server`` loop speaking just enough HTTP/1.1 + JSON for
+clients, load balancers, and the CI smoke test.  No third-party web
+framework is involved.
+
+Endpoints::
+
+    GET  /healthz     liveness: status, backend, config, chip count
+    GET  /stats       queue depth, batch sizes, coalescing, shed count,
+                      scheduling decisions, cache hit rate, p50/p95 latency
+    POST /v1/spgemm   one SpGEMM request -> RunResult.as_row() JSON
+    POST /v1/gcn      one GCN-layer request -> RunResult.as_row() JSON
+
+An SpGEMM body names a dataset (synthesised server-side and cached) or
+carries explicit CSR arrays::
+
+    {"dataset": "wiki-Vote", "max_nodes": 256, "seed": 0, "label": "r1"}
+    {"a": {"indptr": [...], "indices": [...], "data": [...],
+           "shape": [4, 4]}, "b": {...}, "include_output": true}
+
+Responses are the flat ``RunResult.as_row()`` payload (cycles, gops, op
+counts, provenance, cache_hit, wall time); ``include_output`` adds the
+raw CSR arrays of the product.  Backpressure maps to ``503`` (the bounded
+queue load-shed), expired deadlines to ``504``, malformed bodies to
+``400``.
+
+Failure semantics worth knowing when writing a client: results are
+byte-identical to a direct ``Session.run`` of the same spec, verification
+defaults to *off* for serving traffic (pass ``"verify": true`` with the
+``cycle`` backend to re-enable it), and a ``Connection: close`` request
+header is honoured while anything else keeps the connection alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.core.session import Session
+from repro.core.specs import GCNLayerSpec, SpGEMMSpec
+from repro.datasets.suite import load_dataset
+from repro.serve.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_MS,
+    MicroBatcher,
+    ServingStats,
+)
+from repro.serve.queue import (
+    DEFAULT_QUEUE_DEPTH,
+    QueueClosed,
+    QueueOverflow,
+    RequestQueue,
+    ServeTimeout,
+)
+from repro.sparse.csr import CSRMatrix
+
+#: Largest accepted request body (explicit CSR operands dominate sizing).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Default per-request deadline, queue wait + execution.
+DEFAULT_REQUEST_TIMEOUT_S = 60.0
+
+#: Bound on the server-side dataset cache; the key (name, max_nodes,
+#: seed) is client-controlled, so the cache is LRU-swept — like every
+#: other buffer in the serving layer, it must not grow with traffic.
+MAX_CACHED_DATASETS = 32
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                500: "Internal Server Error", 503: "Service Unavailable",
+                504: "Gateway Timeout"}
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so json.dumps accepts
+    every RunResult metrics row."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _parse_csr(obj: Any, field: str) -> CSRMatrix:
+    """Build a CSRMatrix from the JSON operand encoding."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"operand {field!r} must be an object with "
+                         "indptr/indices/data/shape")
+    missing = [key for key in ("indptr", "indices", "data", "shape")
+               if key not in obj]
+    if missing:
+        raise ValueError(f"operand {field!r} is missing {missing}")
+    return CSRMatrix(np.asarray(obj["indptr"], dtype=np.int64),
+                     np.asarray(obj["indices"], dtype=np.int64),
+                     np.asarray(obj["data"], dtype=np.float64),
+                     tuple(obj["shape"]))
+
+
+class ReproServer:
+    """The serving subsystem, assembled: queue + micro-batcher + HTTP.
+
+    Args:
+        session: configured :class:`Session` every request executes on.
+        host / port: bind address; ``port=0`` picks an ephemeral port
+            (read :attr:`port` after :meth:`start` for the real one).
+        max_batch / max_delay_ms: micro-batch coalescing window.
+        queue_depth: bounded-queue size; beyond it requests are shed (503).
+        request_timeout_s: per-request deadline (queue wait + execution).
+        coalesce: serve operand-identical requests from one execution.
+    """
+
+    def __init__(self, session: Session, host: str = "127.0.0.1",
+                 port: int = 8077, *,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay_ms: float = DEFAULT_MAX_DELAY_MS,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                 coalesce: bool = True) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.request_timeout_s = request_timeout_s
+        self.stats = ServingStats()
+        self.queue = RequestQueue(max_depth=queue_depth)
+        self.batcher = MicroBatcher(session, self.queue,
+                                    max_batch=max_batch,
+                                    max_delay_ms=max_delay_ms,
+                                    coalesce=coalesce, stats=self.stats)
+        self._server: asyncio.base_events.Server | None = None
+        self._datasets: OrderedDict = OrderedDict()
+        self._dataset_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ReproServer":
+        """Start the batcher thread and bind the listening socket."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting connections, drain the batcher, release the
+        session's serving resources (the session itself stays open —
+        the caller owns it)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.to_thread(self.batcher.stop)
+
+    async def run_forever(self) -> None:
+        """Start, announce the bound address, and serve until SIGINT /
+        SIGTERM (clean shutdown) — the ``repro serve`` entry point."""
+        await self.start()
+        print(f"repro serve listening on http://{self.host}:{self.port} "
+              f"(backend={self.session.backend}, "
+              f"config={self.session.chip.config.name}, "
+              f"max_batch={self.batcher.max_batch}, "
+              f"max_delay_ms={self.batcher.max_delay_s * 1e3:g})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        stopped = loop.create_future()
+
+        def _request_stop() -> None:
+            if not stopped.done():
+                stopped.set_result(None)
+
+        try:
+            loop.add_signal_handler(signal.SIGINT, _request_stop)
+            loop.add_signal_handler(signal.SIGTERM, _request_stop)
+        except NotImplementedError:  # pragma: no cover - non-posix loops
+            pass
+        try:
+            await stopped
+        finally:
+            await self.stop()
+            print("repro serve: shutdown complete", flush=True)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = \
+                        request_line.decode("latin-1").split()
+                except ValueError:
+                    await self._respond(writer, 400,
+                                        {"error": "malformed request line"},
+                                        keep_alive=False)
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length") or 0)
+                except ValueError:
+                    await self._respond(writer, 400,
+                                        {"error": "bad Content-Length"},
+                                        keep_alive=False)
+                    break
+                if length > MAX_BODY_BYTES:
+                    await self._respond(writer, 413,
+                                        {"error": "request body too large"},
+                                        keep_alive=False)
+                    break
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload = await self._route(method.upper(),
+                                                    target, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       payload: dict, keep_alive: bool) -> None:
+        body = json.dumps(_jsonable(payload)).encode()
+        connection = "keep-alive" if keep_alive else "close"
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {
+                "status": "ok",
+                "backend": self.session.backend,
+                "config": self.session.chip.config.name,
+                "chips": (self.session.topology.n_chips
+                          if self.session.topology is not None else 1),
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.stats.snapshot(queue_depth=self.queue.depth,
+                                            shed=self.queue.shed,
+                                            cache=self.session.cache_stats())
+        if path == "/v1/spgemm":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._serve_spgemm(body)
+        if path == "/v1/gcn":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._serve_gcn(body)
+        return 404, {"error": f"unknown path {path!r}; endpoints: "
+                              "/healthz /stats /v1/spgemm /v1/gcn"}
+
+    # ------------------------------------------------------------------
+    # Workload endpoints
+    # ------------------------------------------------------------------
+    def _json(self, body: bytes) -> dict:
+        payload = json.loads(body.decode() or "{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dataset(self, name: str, max_nodes: int, seed: int):
+        key = (name, max_nodes, seed)
+        with self._dataset_lock:
+            dataset = self._datasets.get(key)
+            if dataset is not None:
+                self._datasets.move_to_end(key)
+                return dataset
+        dataset = load_dataset(name, max_nodes=max_nodes, seed=seed)
+        with self._dataset_lock:
+            self._datasets[key] = dataset
+            self._datasets.move_to_end(key)
+            while len(self._datasets) > MAX_CACHED_DATASETS:
+                self._datasets.popitem(last=False)
+        return dataset
+
+    async def _serve_spgemm(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = self._json(body)
+            if "a" in payload:
+                a = _parse_csr(payload["a"], "a")
+                b = _parse_csr(payload["b"], "b") if "b" in payload else None
+                source = str(payload.get("label", "serve"))
+            elif "dataset" in payload:
+                dataset = self._dataset(str(payload["dataset"]),
+                                        int(payload.get("max_nodes", 256)),
+                                        int(payload.get("seed", 0)))
+                a, b = dataset.adjacency_csr(), None
+                source = dataset.name
+            else:
+                raise ValueError("body needs 'dataset' or explicit 'a'")
+            spec = SpGEMMSpec(
+                a=a, b=b,
+                tile_size=payload.get("tile_size"),
+                verify=bool(payload.get("verify", False)),
+                shards=int(payload.get("shards", 1)),
+                source=source,
+                label=str(payload.get("label", source)))
+            timeout = float(payload.get("timeout_s",
+                                        self.request_timeout_s))
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
+            return 400, {"error": str(err)}
+        status, row = await self._submit(spec, timeout)
+        if status == 200 and payload.get("include_output"):
+            result = row.pop("_result")
+            row["output"] = {"indptr": result.output.indptr,
+                             "indices": result.output.indices,
+                             "data": result.output.data,
+                             "shape": list(result.output.shape)}
+        else:
+            row.pop("_result", None)
+        return status, row
+
+    async def _serve_gcn(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = self._json(body)
+            if "dataset" not in payload:
+                raise ValueError("body needs a 'dataset' name")
+            dataset = self._dataset(str(payload["dataset"]),
+                                    int(payload.get("max_nodes", 128)),
+                                    int(payload.get("seed", 0)))
+            spec = GCNLayerSpec(
+                dataset=dataset,
+                feature_dim=int(payload.get("feature_dim", 16)),
+                hidden_dim=int(payload.get("hidden_dim", 8)),
+                feature_density=float(payload.get("feature_density", 0.3)),
+                verify=bool(payload.get("verify", False)),
+                seed=int(payload.get("feature_seed", 7)),
+                label=str(payload.get("label", dataset.name)))
+            timeout = float(payload.get("timeout_s",
+                                        self.request_timeout_s))
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
+            return 400, {"error": str(err)}
+        status, row = await self._submit(spec, timeout)
+        row.pop("_result", None)
+        return status, row
+
+    async def _submit(self, spec, timeout_s: float) -> tuple[int, dict]:
+        """Enqueue one spec and await its future; maps serving-layer
+        failure modes onto HTTP status codes."""
+        self.stats.add("requests")
+        try:
+            request = self.queue.put(spec, timeout_s=timeout_s)
+        except QueueOverflow as err:
+            return 503, {"error": str(err)}
+        except QueueClosed as err:
+            return 503, {"error": str(err)}
+        try:
+            # Small grace over the queue deadline so batcher-side timeouts
+            # (ServeTimeout) win the race and report precisely.
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(request.future), timeout_s + 1.0)
+        except asyncio.TimeoutError:
+            request.cancel()
+            return 504, {"error": f"request timed out after {timeout_s}s"}
+        except ServeTimeout as err:
+            return 504, {"error": str(err)}
+        except asyncio.CancelledError:
+            raise
+        except QueueClosed as err:
+            return 503, {"error": str(err)}
+        except Exception as err:  # noqa: BLE001 - execution error -> 500
+            return 500, {"error": f"{type(err).__name__}: {err}"}
+        row = dict(result.as_row())
+        row["request_id"] = request.request_id
+        row["_result"] = result  # stripped (or expanded) by the endpoint
+        return 200, row
+
+
+class BackgroundServer:
+    """Run a :class:`ReproServer` on a dedicated asyncio thread.
+
+    Used by tests, ``examples/serving_client.py`` (self-hosted mode), and
+    ``benchmarks/bench_serving.py``::
+
+        with BackgroundServer(ReproServer(session, port=0)) as bg:
+            requests.post(f"http://127.0.0.1:{bg.port}/v1/spgemm", ...)
+    """
+
+    def __init__(self, server: ReproServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Future | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self._loop = asyncio.get_running_loop()
+                self._stopped = self._loop.create_future()
+                await self.server.start()
+            except BaseException as error:  # noqa: BLE001 - re-raised in start()
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stopped
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stopped is not None:
+            def _finish() -> None:
+                if not self._stopped.done():
+                    self._stopped.set_result(None)
+            self._loop.call_soon_threadsafe(_finish)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

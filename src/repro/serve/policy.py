@@ -1,0 +1,116 @@
+"""Micro-batch scheduling policy for multi-chip sessions.
+
+A batch of jobs on an N-chip fleet can be scheduled two ways:
+
+* **all chips per job** (scale *up*): every job is row-sharded across all
+  N chips by the ``multichip`` backend and the batch runs job after job.
+  Best when jobs are scarce relative to chips, or when shards balance
+  well (high predicted scale-out efficiency).
+* **whole jobs per chip** (scale *out*): each chip takes complete jobs,
+  unsplit, and the batch drains in ``ceil(jobs / chips)`` waves.  Best
+  when jobs outnumber chips — there is no host reduce, no B broadcast,
+  and no shard skew to pay for.
+
+:func:`choose_schedule` picks between them per micro-batch using
+:func:`~repro.backends.multichip.predict_scaleout`'s per-shard
+partial-product histogram — the analytic fast path, so the decision costs
+one planner pass over the operand index arrays, no compilation and no
+simulation.  The modelled batch makespans are::
+
+    all-chips-per-job:  n_jobs / predicted_speedup   (job units)
+    whole-jobs-per-chip: ceil(n_jobs / n_chips)      (job units)
+
+and the smaller one wins (ties go to all-chips-per-job, which also gives
+the lowest single-request latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.backends.multichip import ChipTopology, predict_scaleout
+from repro.core.specs import SpGEMMSpec, WorkloadSpec
+
+#: Every job is row-sharded across the whole fleet (scale up).
+ALL_CHIPS_PER_JOB = "all-chips-per-job"
+
+#: Each chip runs complete jobs, unsplit (scale out).
+WHOLE_JOBS_PER_CHIP = "whole-jobs-per-chip"
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """Outcome of one per-batch scheduling decision.
+
+    Attributes:
+        mode: :data:`ALL_CHIPS_PER_JOB` or :data:`WHOLE_JOBS_PER_CHIP`.
+        n_jobs: batch size the decision was made for.
+        n_chips: fleet size considered.
+        predicted_speedup: ``predict_scaleout``'s per-job speedup estimate
+            for splitting one representative job across the fleet.
+        reason: human-readable justification, surfaced in ``/stats``.
+    """
+
+    mode: str
+    n_jobs: int
+    n_chips: int
+    predicted_speedup: float
+    reason: str
+
+    @property
+    def scale_out(self) -> bool:
+        return self.mode == WHOLE_JOBS_PER_CHIP
+
+
+def _representative_spgemm(specs: Sequence[WorkloadSpec]) -> SpGEMMSpec | None:
+    """The largest SpGEMM spec (by nnz of A) carrying a CSR-shaped operand
+    — the one whose shard histogram dominates the batch makespan."""
+    best = None
+    best_nnz = -1
+    for spec in specs:
+        if not isinstance(spec, SpGEMMSpec):
+            continue
+        nnz = getattr(spec.a, "nnz", None)
+        if nnz is not None and nnz > best_nnz:
+            best, best_nnz = spec, nnz
+    return best
+
+
+def choose_schedule(specs: Sequence[WorkloadSpec],
+                    topology: ChipTopology | None) -> ScheduleDecision:
+    """Pick the batch schedule for ``specs`` on ``topology``.
+
+    Single-chip sessions (``topology`` is ``None`` or one chip) and
+    single-job batches always scale up; otherwise the modelled makespans
+    of the two policies are compared (see module docstring).
+    """
+    n_jobs = len(specs)
+    n_chips = topology.n_chips if topology is not None else 1
+    if n_chips <= 1:
+        return ScheduleDecision(ALL_CHIPS_PER_JOB, n_jobs, n_chips, 1.0,
+                                "single-chip session")
+    if n_jobs <= 1:
+        return ScheduleDecision(
+            ALL_CHIPS_PER_JOB, n_jobs, n_chips, float(n_chips),
+            "one job in the batch: splitting it is the only parallelism")
+    representative = _representative_spgemm(specs)
+    if representative is None:
+        return ScheduleDecision(
+            ALL_CHIPS_PER_JOB, n_jobs, n_chips, float(n_chips),
+            "no CSR SpGEMM operand to predict a shard histogram from")
+    b = representative.b if representative.b is not None else None
+    prediction = predict_scaleout(representative.a, n_chips, b)
+    speedup = max(1.0, prediction["predicted_speedup"])
+    scale_up_makespan = n_jobs / speedup
+    scale_out_makespan = float(math.ceil(n_jobs / n_chips))
+    if scale_out_makespan < scale_up_makespan:
+        return ScheduleDecision(
+            WHOLE_JOBS_PER_CHIP, n_jobs, n_chips, speedup,
+            f"{n_jobs} jobs drain in {int(scale_out_makespan)} wave(s) on "
+            f"{n_chips} chips; splitting predicts only {speedup:.2f}x/job")
+    return ScheduleDecision(
+        ALL_CHIPS_PER_JOB, n_jobs, n_chips, speedup,
+        f"predicted {speedup:.2f}x/job split beats "
+        f"{int(scale_out_makespan)} wave(s) of whole jobs")

@@ -1,0 +1,187 @@
+"""Bounded request queue: the front door of the serving subsystem.
+
+Incoming workload specs are wrapped in :class:`ServeRequest` — the spec, a
+``concurrent.futures.Future`` the caller waits on, an enqueue timestamp
+for latency accounting, and an optional deadline — and buffered in a
+:class:`RequestQueue`.  The queue is *bounded*: once ``max_depth``
+requests are waiting, :meth:`RequestQueue.put` load-sheds with a
+:class:`QueueOverflow` instead of letting latency grow without bound (the
+HTTP front-end maps it to ``503 Service Unavailable``).
+
+The consumer side is shaped for micro-batching rather than item-at-a-time
+work: :meth:`RequestQueue.get_batch` blocks until at least one request is
+waiting, then keeps collecting until the batch is full or a delay bound
+expires — the size/deadline-bounded coalescing window the
+:class:`~repro.serve.batcher.MicroBatcher` dispatches through
+``Session.map``.
+
+Cancellation rides on the future: ``request.cancel()`` succeeds while the
+request is still queued, and the batcher skips cancelled requests via the
+standard ``Future.set_running_or_notify_cancel`` handshake.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.specs import WorkloadSpec
+
+#: Default bound on queued (not yet dispatched) requests.
+DEFAULT_QUEUE_DEPTH = 256
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer errors."""
+
+
+class QueueOverflow(ServeError):
+    """The bounded request queue is full; the request was load-shed."""
+
+
+class QueueClosed(ServeError):
+    """The queue (or server) is shutting down; no new requests accepted."""
+
+
+class ServeTimeout(ServeError):
+    """The request's deadline expired before it was dispatched."""
+
+
+@dataclass
+class ServeRequest:
+    """One queued unit of serving work.
+
+    Attributes:
+        spec: the workload spec to execute.
+        future: resolves to the :class:`~repro.core.specs.RunResult` (or
+            the execution error); cancellable while still queued.
+        request_id: monotonically increasing id, for logs and ordering.
+        enqueued_at: ``time.monotonic()`` timestamp, for latency stats.
+        deadline: optional ``time.monotonic()`` deadline; the batcher
+            fails expired requests with :class:`ServeTimeout` instead of
+            dispatching them.
+    """
+
+    spec: WorkloadSpec
+    future: Future = field(default_factory=Future)
+    request_id: int = 0
+    enqueued_at: float = 0.0
+    deadline: float | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the deadline (when set) has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def cancel(self) -> bool:
+        """Cancel the request; succeeds only while it is still queued."""
+        return self.future.cancel()
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO of :class:`ServeRequest`, batch-oriented.
+
+    Args:
+        max_depth: maximum number of waiting requests before :meth:`put`
+            load-sheds with :class:`QueueOverflow`.
+    """
+
+    def __init__(self, max_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._items: deque[ServeRequest] = deque()
+        self._condition = threading.Condition()
+        self._ids = itertools.count()
+        self._closed = False
+        self.shed = 0  # requests rejected by backpressure, for /stats
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, spec: WorkloadSpec,
+            timeout_s: float | None = None) -> ServeRequest:
+        """Enqueue one spec and return its :class:`ServeRequest`.
+
+        Args:
+            spec: workload to execute.
+            timeout_s: optional per-request deadline, relative to now.
+
+        Raises:
+            QueueOverflow: the queue is at ``max_depth`` (load shed).
+            QueueClosed: the queue has been closed.
+        """
+        now = time.monotonic()
+        deadline = None if timeout_s is None else now + timeout_s
+        with self._condition:
+            if self._closed:
+                raise QueueClosed("request queue is closed")
+            if len(self._items) >= self.max_depth:
+                self.shed += 1
+                raise QueueOverflow(
+                    f"request queue is full ({self.max_depth} waiting); "
+                    "load shedding — retry later")
+            request = ServeRequest(spec=spec, request_id=next(self._ids),
+                                   enqueued_at=now, deadline=deadline)
+            self._items.append(request)
+            self._condition.notify()
+        return request
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get_batch(self, max_batch: int,
+                  max_delay_s: float) -> list[ServeRequest]:
+        """Collect the next micro-batch.
+
+        Blocks until at least one request is waiting, then keeps
+        collecting for up to ``max_delay_s`` or until ``max_batch``
+        requests are buffered, whichever comes first.  Returns an empty
+        list only when the queue is closed and drained.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        with self._condition:
+            while not self._items and not self._closed:
+                self._condition.wait()
+            if not self._items:
+                return []  # closed and drained
+            window_ends = time.monotonic() + max(0.0, max_delay_s)
+            while len(self._items) < max_batch and not self._closed:
+                remaining = window_ends - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
+            batch = [self._items.popleft()
+                     for _ in range(min(max_batch, len(self._items)))]
+        return batch
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of requests currently waiting."""
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop accepting requests and wake every waiting consumer."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def drain(self) -> list[ServeRequest]:
+        """Remove and return every waiting request (used at shutdown so
+        leftover futures can be failed instead of hanging forever)."""
+        with self._condition:
+            leftover = list(self._items)
+            self._items.clear()
+        return leftover

@@ -281,3 +281,27 @@ class TestCacheCommand:
             build_parser().parse_args(["cache"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "defrag"])
+
+
+class TestServeCommand:
+    def test_serve_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8077
+        assert args.backend == "analytic"
+        assert args.max_batch == 8
+        assert args.max_delay_ms == 5.0
+        assert args.queue_depth == 256
+        assert args.request_timeout == 60.0
+        assert args.no_coalesce is False
+
+    def test_serve_accepts_multichip_fleet(self):
+        args = build_parser().parse_args(
+            ["serve", "--backend", "multichip", "--chips", "4",
+             "--port", "0", "--max-batch", "16"])
+        assert args.chips == 4
+        assert args.port == 0
+
+    def test_serve_chips_without_multichip_is_a_clean_error(self, capsys):
+        assert main(["serve", "--chips", "4", "--port", "0"]) == 2
+        assert "multichip" in capsys.readouterr().err

@@ -1,0 +1,203 @@
+"""HTTP front-end: endpoints, error mapping, byte-identity over the wire."""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Session, SpGEMMSpec
+from repro.datasets import load_dataset
+from repro.serve import BackgroundServer, QueueOverflow, ReproServer
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session("Tile-4", backend="analytic") as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def server(session):
+    with BackgroundServer(ReproServer(session, port=0, max_batch=4,
+                                      max_delay_ms=2.0)) as background:
+        yield background.server
+
+
+def request(server, method, path, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                            timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestInfraEndpoints:
+    def test_healthz(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["backend"] == "analytic"
+        assert payload["config"] == "Tile-4"
+
+    def test_stats_shape(self, server):
+        status, payload = request(server, "GET", "/stats")
+        assert status == 200
+        for key in ("queue_depth", "requests", "responses", "batches",
+                    "mean_batch_size", "coalesced", "shed",
+                    "latency_p50_ms", "latency_p95_ms", "cache_hit_rate"):
+            assert key in payload, key
+
+    def test_unknown_path_404(self, server):
+        status, payload = request(server, "GET", "/nope")
+        assert status == 404
+        assert "/v1/spgemm" in payload["error"]
+
+    def test_wrong_method_405(self, server):
+        assert request(server, "POST", "/healthz")[0] == 405
+        assert request(server, "GET", "/v1/spgemm")[0] == 405
+
+
+class TestSpGEMMEndpoint:
+    def test_dataset_request(self, server):
+        status, row = request(server, "POST", "/v1/spgemm",
+                              {"dataset": "wiki-Vote", "max_nodes": 96,
+                               "seed": 5, "label": "hello"})
+        assert status == 200
+        assert row["label"] == "hello"
+        assert row["kind"] == "spgemm"
+        assert row["cycles"] > 0
+        assert row["output_nnz"] > 0
+        assert "request_id" in row
+        assert "_result" not in row  # internal handle never leaks
+
+    def test_served_output_byte_identical_to_direct_run(self, server,
+                                                        session):
+        adjacency = load_dataset("wiki-Vote", max_nodes=96,
+                                 seed=5).adjacency_csr()
+        direct = session.run(SpGEMMSpec(a=adjacency, verify=False))
+        status, row = request(server, "POST", "/v1/spgemm",
+                              {"dataset": "wiki-Vote", "max_nodes": 96,
+                               "seed": 5, "include_output": True})
+        assert status == 200
+        served = row["output"]
+        assert np.array_equal(np.asarray(served["indptr"]),
+                              direct.output.indptr)
+        assert np.array_equal(np.asarray(served["indices"]),
+                              direct.output.indices)
+        assert np.array_equal(np.asarray(served["data"]),
+                              direct.output.data)
+        assert row["cycles"] == direct.metrics["cycles"]
+
+    def test_explicit_csr_operands(self, server):
+        dense = np.array([[1.0, 0.0], [2.0, 3.0]])
+        operand = {"indptr": [0, 1, 3], "indices": [0, 0, 1],
+                   "data": [1.0, 2.0, 3.0], "shape": [2, 2]}
+        status, row = request(server, "POST", "/v1/spgemm",
+                              {"a": operand, "include_output": True})
+        assert status == 200
+        indptr = np.asarray(row["output"]["indptr"])
+        indices = np.asarray(row["output"]["indices"])
+        data = np.asarray(row["output"]["data"])
+        product = np.zeros((2, 2))
+        for i in range(2):
+            for slot in range(indptr[i], indptr[i + 1]):
+                product[i, indices[slot]] = data[slot]
+        assert np.allclose(product, dense @ dense)
+
+    def test_bad_json_400(self, server):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                timeout=60)
+        try:
+            connection.request("POST", "/v1/spgemm", body="{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()
+
+    def test_missing_operand_400(self, server):
+        status, payload = request(server, "POST", "/v1/spgemm",
+                                  {"label": "no-operand"})
+        assert status == 400
+        assert "dataset" in payload["error"]
+
+    def test_unknown_dataset_400(self, server):
+        status, _ = request(server, "POST", "/v1/spgemm",
+                            {"dataset": "does-not-exist"})
+        assert status == 400
+
+    def test_non_numeric_timeout_400(self, server):
+        # A bad timeout_s must be a clean 400, not a dropped connection.
+        status, payload = request(server, "POST", "/v1/spgemm",
+                                  {"dataset": "wiki-Vote", "max_nodes": 96,
+                                   "timeout_s": "abc"})
+        assert status == 400
+        assert "float" in payload["error"] or "abc" in payload["error"]
+
+    def test_malformed_operand_400(self, server):
+        status, payload = request(server, "POST", "/v1/spgemm",
+                                  {"a": {"indptr": [0, 1]}})
+        assert status == 400
+        assert "missing" in payload["error"]
+
+    def test_queue_overflow_maps_to_503(self, server, monkeypatch):
+        def shed(spec, timeout_s=None):
+            raise QueueOverflow("request queue is full (test)")
+
+        monkeypatch.setattr(server.queue, "put", shed)
+        status, payload = request(server, "POST", "/v1/spgemm",
+                                  {"dataset": "wiki-Vote", "max_nodes": 96})
+        assert status == 503
+        assert "full" in payload["error"]
+
+
+class TestGCNEndpoint:
+    def test_gcn_request(self, server):
+        status, row = request(server, "POST", "/v1/gcn",
+                              {"dataset": "cora", "max_nodes": 64,
+                               "feature_dim": 8, "hidden_dim": 4})
+        assert status == 200
+        assert row["kind"] == "gcn_layer"
+        assert row["total_cycles"] > 0
+
+    def test_gcn_requires_dataset(self, server):
+        status, payload = request(server, "POST", "/v1/gcn",
+                                  {"feature_dim": 8})
+        assert status == 400
+        assert "dataset" in payload["error"]
+
+
+class TestLifecycle:
+    def test_clean_shutdown_refuses_new_connections(self):
+        with Session("Tile-4", backend="analytic") as session:
+            background = BackgroundServer(ReproServer(session, port=0))
+            background.start()
+            port = background.port
+            status, _ = request(background.server, "GET", "/healthz")
+            assert status == 200
+            background.stop()
+            with pytest.raises(OSError):
+                connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                        timeout=5)
+                try:
+                    connection.request("GET", "/healthz")
+                    connection.getresponse()
+                finally:
+                    connection.close()
+
+    def test_keep_alive_serves_multiple_requests(self, server):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                timeout=60)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
