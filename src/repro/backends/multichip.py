@@ -2,19 +2,23 @@
 
 NeuraChip's decoupled SpGEMM pipeline and Tesseract-style hash partitioning
 are designed to scale across chips: rows of A partition the partial
-products of C = A @ B exactly, so each chip can own a contiguous row shard,
-compile and execute it independently, and the host reduces the per-chip
-products with :func:`~repro.sparse.convert.csr_vstack` into a result
-identical to the single-chip run.
+products of C = A @ B exactly, so each chip can own a row shard, compile
+and execute it independently, and the host reduces the per-chip products
+into a result identical to the single-chip run.
 
 The ``multichip`` backend models exactly that:
 
 * :class:`ChipTopology` describes the fleet — chip count, the per-chip
   execution backend (``analytic`` by default, ``cycle`` / ``functional``
-  for fidelity), and the host-reduce cost model;
-* every chip executes in isolation — its own compiled shard program and
-  its own simulator (memory / NeuraMem) state and stats, built fresh per
-  chip by the inner backend — and the per-chip work fans out over any
+  for fidelity), the partition strategy, and the host-reduce cost model;
+* shards come from :func:`~repro.sparse.partition.plan_shards`:
+  contiguous row ranges on balanced inputs, degree-aware row index sets
+  (with merge-path column-range splitting of monster rows) on skewed
+  power-law inputs — the ``partition`` knob picks, defaulting to an
+  ``auto`` skew probe;
+* every chip executes in isolation — its own compiled shard program(s)
+  and its own simulator (memory / NeuraMem) state and stats, built fresh
+  per chip by the inner backend — and the per-chip work fans out over any
   registered host executor (serial / thread / process);
 * the aggregate timing report takes ``cycles = max over chips + host
   reduce term (+ one-time B broadcast on cold runs)``, sums
@@ -51,12 +55,16 @@ from repro.sim.accelerator import SimulationReport
 from repro.sim.neuracore import MMH_HIST_BINS, MMH_HIST_BIN_WIDTH
 from repro.sim.neuramem import HACC_HIST_BINS, HACC_HIST_BIN_WIDTH
 from repro.sim.stats import Histogram
-from repro.sparse.convert import csr_to_csc, csr_vstack
+from repro.sparse.convert import csr_to_csc
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import (
-    estimate_row_partial_products,
-    plan_row_shards,
-    shard_partial_products,
+    PARTITION_STRATEGIES,
+    ShardAssignment,
+    ShardPlan,
+    ShardUnit,
+    build_shard_units,
+    plan_shards,
+    stitch_shard_outputs,
 )
 
 #: Bytes the host reduce moves per output *row*.  Output ownership follows
@@ -75,6 +83,11 @@ class ChipTopology:
         n_chips: number of chip instances row shards are assigned to.
         chip_backend: registered backend each chip executes its shard
             program through ('analytic', 'cycle', or 'functional').
+        partition: shard planning strategy — 'contiguous' row ranges,
+            'degree' index sets (LPT over exact per-row weights, with
+            merge-path monster-row splitting), or 'auto' (default): a
+            cheap skew probe keeps contiguity unless the degree plan is
+            measurably more balanced.
         reduce_bytes_per_cycle: host-interconnect gather bandwidth used by
             the reduce-cost term (row-pointer bytes per chip cycle; the
             output values stay sharded in chip-local HBM).
@@ -84,6 +97,7 @@ class ChipTopology:
 
     n_chips: int = 1
     chip_backend: str = "analytic"
+    partition: str = "auto"
     reduce_bytes_per_cycle: float = 64.0
     reduce_latency_cycles: float = 200.0
 
@@ -93,6 +107,10 @@ class ChipTopology:
         if self.chip_backend == "multichip":
             raise ValueError("chip_backend cannot be 'multichip' "
                              "(chips do not nest)")
+        if self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(f"unknown partition strategy "
+                             f"{self.partition!r}; expected one of "
+                             f"{PARTITION_STRATEGIES}")
         if self.reduce_bytes_per_cycle <= 0:
             raise ValueError("reduce_bytes_per_cycle must be > 0")
 
@@ -119,11 +137,12 @@ class ChipTopology:
 
 @dataclass
 class ChipRun:
-    """Outcome of one chip executing its row shard."""
+    """Outcome of one chip executing its shard (rows unit + fragments)."""
 
     chip: int
-    rows: tuple[int, int]
-    output: CSRMatrix
+    assignment: ShardAssignment
+    output: CSRMatrix | None
+    fragment_outputs: list[CSRMatrix]
     report: SimulationReport | None
     mmh: int
     partial_products: int
@@ -133,6 +152,21 @@ class ChipRun:
     def cycles(self) -> float:
         return self.report.cycles if self.report is not None else 0.0
 
+    @property
+    def n_rows(self) -> int:
+        """Whole rows this chip owns (split rows count via fragments)."""
+        return int(self.assignment.rows.size)
+
+    @property
+    def row_range(self) -> tuple[int, int] | None:
+        """The contiguous ``(lo, hi)`` row range, when the assignment is
+        one — the historical shape of contiguous-plan chip runs."""
+        rows = self.assignment.rows
+        if rows.size == 0:
+            return (0, 0) if not self.assignment.fragments else None
+        lo, hi = int(rows[0]), int(rows[-1]) + 1
+        return (lo, hi) if hi - lo == rows.size else None
+
 
 @dataclass
 class MultiChipExecutionResult(ExecutionResult):
@@ -140,6 +174,7 @@ class MultiChipExecutionResult(ExecutionResult):
 
     chip_runs: list[ChipRun] = field(default_factory=list)
     topology: ChipTopology = field(default_factory=ChipTopology)
+    plan: ShardPlan | None = None
     reduce_cycles: float = 0.0
     broadcast_cycles: float = 0.0
 
@@ -173,21 +208,105 @@ def _compile_shard(shard: CSRMatrix, b_csr: CSRMatrix, tile_size: int,
     return program, False
 
 
-def _run_chip(chip: int, rows: tuple[int, int], shard: CSRMatrix,
-              b_csr: CSRMatrix, tile_size: int, source: str,
+def _combine_unit_reports(reports: list[SimulationReport],
+                          config, source: str) -> SimulationReport:
+    """One chip's report over its units, run back to back: cycles and
+    activity totals summed (sequential semantics on one chip), rates
+    recomputed from the sums."""
+    if len(reports) == 1:
+        return reports[0]
+    cycles = float(sum(r.cycles for r in reports))
+    n_mmh = sum(r.mmh_instructions for r in reports)
+    pp = sum(r.hacc_instructions for r in reports)
+    seconds = cycles / (config.frequency_ghz * 1e9)
+    useful_flops = sum(r.useful_flops for r in reports)
+    busy = sum(r.busy_cycles for r in reports)
+    pipelines = max(1, config.total_pipelines)
+    verdicts = [r.correct for r in reports]
+    return SimulationReport(
+        config_name=config.name,
+        workload=source,
+        cycles=cycles,
+        mmh_instructions=n_mmh,
+        hacc_instructions=pp,
+        useful_flops=useful_flops,
+        gflops=useful_flops / seconds / 1e9 if seconds > 0 else 0.0,
+        gops=pp / seconds / 1e9 if seconds > 0 else 0.0,
+        mmh_cpi_mean=float(np.mean([r.mmh_cpi_mean for r in reports])),
+        hacc_cpi_mean=float(np.mean([r.hacc_cpi_mean for r in reports])),
+        mmh_cpi_histogram=Histogram(bin_width=MMH_HIST_BIN_WIDTH,
+                                    n_bins=MMH_HIST_BINS),
+        hacc_cpi_histogram=Histogram(bin_width=HACC_HIST_BIN_WIDTH,
+                                     n_bins=HACC_HIST_BINS),
+        ipc=n_mmh / cycles if cycles else 0.0,
+        cpi=cycles / n_mmh if n_mmh else 0.0,
+        stall_cycles=sum(r.stall_cycles for r in reports),
+        busy_cycles=busy,
+        core_utilization=min(1.0, busy / (cycles * pipelines))
+        if cycles else 0.0,
+        mem_utilization=min(1.0, sum(r.mem_utilization * r.cycles
+                                     for r in reports) / cycles)
+        if cycles else 0.0,
+        avg_inflight_mem=float(np.mean([r.avg_inflight_mem
+                                        for r in reports])),
+        memory_traffic_bytes=sum(r.memory_traffic_bytes for r in reports),
+        evictions=sum(r.evictions for r in reports),
+        spills=sum(r.spills for r in reports),
+        peak_hashpad_occupancy=max(r.peak_hashpad_occupancy
+                                   for r in reports),
+        hashpad_occupancy_fraction=max(r.hashpad_occupancy_fraction
+                                       for r in reports),
+        noc_flits=sum(r.noc_flits for r in reports),
+        noc_avg_hops=float(np.mean([r.noc_avg_hops for r in reports])),
+        output_nnz=sum(r.output_nnz for r in reports),
+        correct=None if any(v is None for v in verdicts) else all(verdicts),
+        max_abs_error=max(r.max_abs_error for r in reports),
+        wall_clock_seconds=sum(r.wall_clock_seconds for r in reports),
+        events=sum(r.events for r in reports),
+        eviction_mode=reports[0].eviction_mode,
+        mapping_scheme=reports[0].mapping_scheme,
+    )
+
+
+def _run_chip(chip: int, assignment: ShardAssignment,
+              units: list[ShardUnit], tile_size: int, source: str,
               chip_backend: str, ctx: ExecutionContext, verify: bool,
               cache) -> ChipRun:
-    """Compile and execute one chip's shard on a fresh per-chip context."""
-    program, cache_hit = _compile_shard(shard, b_csr, tile_size,
-                                        f"{source}@chip{chip}", cache)
-    # The context is immutable chip *configuration*; per-chip isolation
-    # comes from the backend building fresh simulator state per execute.
-    execution = get_backend(chip_backend).execute(
-        program, ctx, a_csr=shard, b_csr=b_csr, verify=verify)
-    return ChipRun(chip=chip, rows=rows, output=execution.output,
-                   report=execution.report, mmh=program.n_instructions,
-                   partial_products=program.total_partial_products,
-                   cache_hit=cache_hit)
+    """Compile and execute one chip's units on a fresh per-chip context."""
+    backend = get_backend(chip_backend)
+    rows_output: CSRMatrix | None = None
+    fragment_outputs: list[CSRMatrix] = []
+    reports: list[SimulationReport | None] = []
+    hits: list[bool] = []
+    mmh = partial_products = 0
+    for unit in units:
+        if unit.fragment is None:
+            unit_source = f"{source}@chip{chip}"
+        else:
+            unit_source = (f"{source}@chip{chip}"
+                           f"[r{unit.fragment.row}:c{unit.fragment.col_lo}"
+                           f"-{unit.fragment.col_hi}]")
+        program, cache_hit = _compile_shard(unit.a, unit.b, tile_size,
+                                            unit_source, cache)
+        # The context is immutable chip *configuration*; per-chip isolation
+        # comes from the backend building fresh simulator state per execute.
+        execution = backend.execute(program, ctx, a_csr=unit.a, b_csr=unit.b,
+                                    verify=verify)
+        if unit.fragment is None:
+            rows_output = execution.output
+        else:
+            fragment_outputs.append(execution.output)
+        reports.append(execution.report)
+        hits.append(cache_hit)
+        mmh += program.n_instructions
+        partial_products += program.total_partial_products
+    report = None
+    if reports and all(r is not None for r in reports):
+        report = _combine_unit_reports(reports, ctx.config, source)
+    return ChipRun(chip=chip, assignment=assignment, output=rows_output,
+                   fragment_outputs=fragment_outputs, report=report,
+                   mmh=mmh, partial_products=partial_products,
+                   cache_hit=bool(hits) and all(hits))
 
 
 def _chip_worker(payload: dict) -> ChipRun:
@@ -206,9 +325,10 @@ def _chip_worker(payload: dict) -> ChipRun:
                            mapping_seed=payload["mapping_seed"],
                            eviction_mode=payload["eviction_mode"],
                            kernel_impl=payload["kernel_impl"])
-    return _run_chip(payload["chip"], payload["rows"], payload["shard"],
-                     payload["b"], payload["tile_size"], payload["source"],
-                     payload["chip_backend"], ctx, payload["verify"], cache)
+    return _run_chip(payload["chip"], payload["assignment"],
+                     payload["units"], payload["tile_size"],
+                     payload["source"], payload["chip_backend"], ctx,
+                     payload["verify"], cache)
 
 
 @register_backend("multichip")
@@ -247,13 +367,16 @@ class MultiChipBackend(ExecutionBackend):
                          ctx: ExecutionContext, tile_size: int,
                          source: str = "spgemm",
                          verify: bool = True) -> MultiChipExecutionResult:
-        """Shard, compile per chip, execute per chip, reduce."""
+        """Plan, compile per chip, execute per chip, reduce."""
         topology = self.topology
         effective_b = b_csr if b_csr is not None else a_csr
-        ranges = plan_row_shards(a_csr, topology.n_chips, effective_b)
-        runs = self._run_chips(a_csr, effective_b, ranges, ctx, tile_size,
-                               source, verify)
-        output = csr_vstack([run.output for run in runs])
+        plan = plan_shards(a_csr, topology.n_chips, effective_b,
+                           strategy=topology.partition)
+        units = build_shard_units(a_csr, effective_b, plan)
+        runs = self._run_chips(plan, units, ctx, tile_size, source, verify)
+        output = stitch_shard_outputs(
+            plan, [(run.output, run.fragment_outputs) for run in runs],
+            effective_b.shape[1])
         reduce_cycles = (topology.reduce_cycles(output.shape[0])
                          if len(runs) > 1 else 0.0)
         # B is replicated on every chip: a cold run (any shard compiled
@@ -264,30 +387,30 @@ class MultiChipBackend(ExecutionBackend):
             broadcast_cycles = topology.broadcast_cycles(effective_b.nnz)
         report = None
         if all(run.report is not None for run in runs):
-            report = self._aggregate_report(runs, output, reduce_cycles,
+            report = self._aggregate_report(runs, plan, output, reduce_cycles,
                                             broadcast_cycles,
                                             effective_b.nnz, ctx, source)
         return MultiChipExecutionResult(
             backend=self.name, output=output, report=report, functional=None,
-            chip_runs=runs, topology=topology, reduce_cycles=reduce_cycles,
-            broadcast_cycles=broadcast_cycles)
+            chip_runs=runs, topology=topology, plan=plan,
+            reduce_cycles=reduce_cycles, broadcast_cycles=broadcast_cycles)
 
     # ------------------------------------------------------------------
-    def _run_chips(self, a_csr: CSRMatrix, b_csr: CSRMatrix,
-                   ranges: list[tuple[int, int]], ctx: ExecutionContext,
-                   tile_size: int, source: str,
+    def _run_chips(self, plan: ShardPlan, units: list[list[ShardUnit]],
+                   ctx: ExecutionContext, tile_size: int, source: str,
                    verify: bool) -> list[ChipRun]:
         topology = self.topology
         executor = self.executor
         if executor is not None and executor.name == "process":
-            # Each payload ships its chip's A shard plus a full copy of B
-            # (the executor abstraction has no pool-initializer hook to
-            # broadcast B once per worker); chip counts are small, so the
-            # duplicated serialization is bounded at n_chips * nnz(B).
+            # Each payload ships its chip's pre-sliced units, including a
+            # full copy of B for rows units (the executor abstraction has
+            # no pool-initializer hook to broadcast B once per worker);
+            # chip counts are small, so the duplicated serialization is
+            # bounded at n_chips * nnz(B).
             cache_dir = getattr(self.cache, "cache_dir", None)
             payloads = [{
-                "chip": index, "rows": (lo, hi),
-                "shard": a_csr.row_slice(lo, hi), "b": b_csr,
+                "chip": index, "assignment": assignment,
+                "units": chip_units,
                 "tile_size": tile_size, "source": source,
                 "chip_backend": topology.chip_backend, "verify": verify,
                 "config": ctx.config, "params": ctx.params,
@@ -299,24 +422,26 @@ class MultiChipBackend(ExecutionBackend):
                 "cache_capacity": getattr(self.cache, "capacity", 0),
                 "cache_max_disk_bytes": getattr(self.cache,
                                                 "max_disk_bytes", None),
-            } for index, (lo, hi) in enumerate(ranges)]
+            } for index, (assignment, chip_units)
+                in enumerate(zip(plan.shards, units))]
             return executor.map(_chip_worker, payloads)
 
-        def chip_job(item: tuple[int, tuple[int, int]]) -> ChipRun:
-            index, (lo, hi) = item
-            return _run_chip(index, (lo, hi), a_csr.row_slice(lo, hi), b_csr,
-                             tile_size, source, topology.chip_backend, ctx,
-                             verify, self.cache)
+        def chip_job(item) -> ChipRun:
+            index, (assignment, chip_units) = item
+            return _run_chip(index, assignment, chip_units, tile_size,
+                             source, topology.chip_backend, ctx, verify,
+                             self.cache)
 
-        items = list(enumerate(ranges))
+        items = list(enumerate(zip(plan.shards, units)))
         if executor is None:
             return [chip_job(item) for item in items]
         return executor.map(chip_job, items)
 
     # ------------------------------------------------------------------
-    def _aggregate_report(self, runs: list[ChipRun], output: CSRMatrix,
-                          reduce_cycles: float, broadcast_cycles: float,
-                          b_nnz: int, ctx: ExecutionContext,
+    def _aggregate_report(self, runs: list[ChipRun], plan: ShardPlan,
+                          output: CSRMatrix, reduce_cycles: float,
+                          broadcast_cycles: float, b_nnz: int,
+                          ctx: ExecutionContext,
                           source: str) -> SimulationReport:
         """Fleet-level report: cycles = max over chips + host reduce +
         cold-run B broadcast, activity totals summed, shard-skew counters
@@ -344,11 +469,13 @@ class MultiChipBackend(ExecutionBackend):
             "multichip.shard_skew": round(skew, 4),
             "multichip.efficiency": round(
                 pp / (len(runs) * max(pp_per_chip)), 4) if pp else 1.0,
+            "multichip.split_rows": len(plan.split_rows),
         }
         for run in runs:
             counters[f"multichip.chip{run.chip}.cycles"] = run.cycles
-            counters[f"multichip.chip{run.chip}.rows"] = \
-                run.rows[1] - run.rows[0]
+            counters[f"multichip.chip{run.chip}.rows"] = run.n_rows
+            counters[f"multichip.chip{run.chip}.fragments"] = \
+                len(run.assignment.fragments)
             counters[f"multichip.chip{run.chip}.partial_products"] = \
                 run.partial_products
         return SimulationReport(
@@ -407,7 +534,8 @@ SCALEOUT_CALIBRATION_BAND = 1.25
 
 
 def predict_scaleout(a_csr: CSRMatrix, n_chips: int,
-                     b_csr: CSRMatrix | None = None) -> dict:
+                     b_csr: CSRMatrix | None = None,
+                     partition: str = "auto") -> dict:
     """Analytic fast path: predict scale-out efficiency without simulating.
 
     Uses only the per-shard partial-product histogram the planner would
@@ -419,28 +547,32 @@ def predict_scaleout(a_csr: CSRMatrix, n_chips: int,
     (large graphs on throughput-bound configurations); distrust it on tiny
     or extremely sparse shards where the latency floor sets the runtime.
 
+    ``partition`` selects the planning strategy exactly like
+    :class:`ChipTopology.partition`, so the predicted plan (including the
+    planner's structurally-empty-product fallback, shared through
+    :func:`~repro.sparse.partition.resolve_shard_weights`) is the plan
+    ``execute_operands`` actually runs.
+
     Returns a dict with ``n_chips`` (effective, after degenerate-input
-    clamping), ``shard_partial_products``, ``shard_rows``, ``skew``
-    (max/mean shard load), ``efficiency`` and ``predicted_speedup``.
+    clamping), ``strategy`` (the plan the probe chose), ``split_rows``,
+    ``shard_partial_products``, ``shard_rows``, ``shard_fragments``,
+    ``skew`` (max/mean shard load), ``efficiency`` and
+    ``predicted_speedup``.
     """
-    effective_b = b_csr if b_csr is not None else a_csr
-    weights = estimate_row_partial_products(a_csr, effective_b)
-    if a_csr.shape[0] and int(weights.sum()) == 0:
-        # Mirror plan_row_shards' structurally-empty-product fallback so
-        # the predicted plan matches what execute_operands actually runs
-        # (the histogram then reports nnz-of-A weights, like the planner).
-        weights = a_csr.row_nnz_counts()
-    ranges = plan_row_shards(a_csr, n_chips, effective_b, weights=weights)
-    loads = shard_partial_products(a_csr, ranges, weights=weights)
+    plan = plan_shards(a_csr, n_chips, b_csr, strategy=partition)
+    loads = plan.loads
     total = int(loads.sum())
     peak = int(loads.max()) if loads.size else 0
-    mean = total / loads.size if loads.size else 0.0
     speedup = total / peak if peak else 1.0
     return {
-        "n_chips": len(ranges),
-        "shard_rows": [hi - lo for lo, hi in ranges],
+        "n_chips": plan.n_shards,
+        "strategy": plan.strategy,
+        "split_rows": len(plan.split_rows),
+        "shard_rows": [int(shard.rows.size) for shard in plan.shards],
+        "shard_fragments": [len(shard.fragments) for shard in plan.shards],
         "shard_partial_products": loads.tolist(),
-        "skew": round(peak / mean, 4) if mean else 1.0,
-        "efficiency": round(speedup / len(ranges), 4) if ranges else 1.0,
+        "skew": round(plan.skew, 4),
+        "efficiency": round(speedup / plan.n_shards, 4)
+        if plan.n_shards else 1.0,
         "predicted_speedup": round(speedup, 4),
     }

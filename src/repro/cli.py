@@ -53,13 +53,15 @@ def _session(args: argparse.Namespace, default_backend: str = "cycle") -> Sessio
     backend = getattr(args, "backend", default_backend)
     chips = getattr(args, "chips", None)
     chip_backend = getattr(args, "chip_backend", None)
+    partition = getattr(args, "partition", None) or "auto"
     topology = None
     if backend == "multichip":
         from repro.core.specs import ChipTopology
 
         # chips=0 must reach ChipTopology's validation, not coerce to 1.
         topology = ChipTopology(n_chips=1 if chips is None else chips,
-                                chip_backend=chip_backend or "analytic")
+                                chip_backend=chip_backend or "analytic",
+                                partition=partition)
     elif chips is not None:
         raise ValueError("--chips requires --backend multichip")
     elif chip_backend is not None:
@@ -67,6 +69,7 @@ def _session(args: argparse.Namespace, default_backend: str = "cycle") -> Sessio
     return Session(args.config,
                    backend=backend,
                    topology=topology,
+                   partition=partition,
                    impl=getattr(args, "impl", "numpy"),
                    executor=getattr(args, "executor", "serial"),
                    workers=getattr(args, "workers", None),
@@ -317,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="backend each chip of a multichip run executes "
                               "its shard through (default: analytic)")
+        sub.add_argument("--partition",
+                         choices=("auto", "contiguous", "degree"),
+                         default=None,
+                         help="shard planning strategy for --shards and the "
+                              "multichip backend: contiguous row ranges, "
+                              "degree-aware index sets with monster-row "
+                              "splitting, or auto skew probe (default: auto)")
 
     p_bloat = subparsers.add_parser("bloat", help="Table-1 memory-bloat analysis")
     p_bloat.add_argument("--datasets", nargs="*", default=None)

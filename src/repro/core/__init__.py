@@ -34,8 +34,10 @@ from repro.core.runner import (
 )
 from repro.core.session import (
     Session,
+    ShardPlan,
     estimate_row_partial_products,
     plan_row_shards,
+    plan_shards,
 )
 from repro.core.specs import (
     BatchSpec,
@@ -59,6 +61,8 @@ __all__ = [
     "RunResult",
     "Provenance",
     "plan_row_shards",
+    "plan_shards",
+    "ShardPlan",
     "estimate_row_partial_products",
     "Executor",
     "register_executor",

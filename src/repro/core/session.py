@@ -74,8 +74,13 @@ from repro.sparse.kernels import IMPLS
 # The planner lives in the sparse layer now (it is shared with the
 # multichip backend); these re-exports keep the historical import path.
 from repro.sparse.partition import (  # noqa: F401  (re-exported API)
+    PARTITION_STRATEGIES,
+    ShardPlan,
+    build_shard_units,
     estimate_row_partial_products,
     plan_row_shards,
+    plan_shards,
+    stitch_shard_outputs,
 )
 
 
@@ -161,6 +166,11 @@ class Session:
         topology: full :class:`~repro.backends.multichip.ChipTopology`
             (chip count, per-chip backend, host-reduce cost model); only
             meaningful with ``backend="multichip"``.
+        partition: shard planning strategy ('auto', 'contiguous' or
+            'degree') for both host-side sharding (``shards > 1``) and the
+            multichip backend; 'auto' (default) keeps contiguous ranges
+            unless a cheap skew probe shows the degree-aware index-set
+            plan is measurably more balanced.
         mapping_scheme / eviction_mode / params / mapping_seed: forwarded
             to the chip when one is constructed here.
 
@@ -177,6 +187,7 @@ class Session:
                  cache_max_disk_bytes: int | None = DEFAULT_DISK_CAPACITY_BYTES,
                  chips: int | None = None,
                  topology: ChipTopology | None = None,
+                 partition: str = "auto",
                  mapping_scheme: str | None = None,
                  eviction_mode: str = "rolling",
                  params: SimulationParams | None = None,
@@ -197,10 +208,20 @@ class Session:
                 and topology.n_chips != chips:
             raise ValueError(f"chips={chips} contradicts "
                              f"topology.n_chips={topology.n_chips}")
+        if partition not in PARTITION_STRATEGIES:
+            raise ValueError(f"unknown partition strategy {partition!r}; "
+                             f"expected one of {PARTITION_STRATEGIES}")
         if topology is None and chips is not None:
-            topology = ChipTopology(n_chips=chips)
+            topology = ChipTopology(n_chips=chips, partition=partition)
         if backend == "multichip" and topology is None:
-            topology = ChipTopology()
+            topology = ChipTopology(partition=partition)
+        if topology is not None and partition != "auto":
+            if topology.partition == "auto":
+                topology = _replace_spec(topology, partition=partition)
+            elif topology.partition != partition:
+                raise ValueError(
+                    f"partition={partition!r} contradicts "
+                    f"topology.partition={topology.partition!r}")
         if topology is not None and backend != "multichip":
             raise ValueError("chips/topology require backend='multichip'; "
                              f"got backend={backend!r}")
@@ -208,6 +229,7 @@ class Session:
             get_backend(topology.chip_backend)  # fail fast here too
         self.backend = backend
         self.topology = topology
+        self.partition = partition
         self.impl = impl
         self.executor: Executor = get_executor(executor, workers=workers)
         self.cache = cache if cache is not None else \
@@ -309,6 +331,7 @@ class Session:
             "chip_config": chip.config,
             "backend": self.backend,
             "topology": self.topology,
+            "partition": self.partition,
             "impl": self.impl,
             "executor": "serial",
             "cache_dir": self.cache.cache_dir,
@@ -380,24 +403,61 @@ class Session:
         Rows of A partition the partial products of A @ B exactly, so the
         merged output matrix, output nnz, and total partial-product count
         are identical to the unsharded run; per-shard timing reports are
-        aggregated (cycles summed — a sequential estimate)."""
+        aggregated (cycles summed — a sequential estimate).
+
+        The session's ``partition`` strategy applies: contiguous plans
+        reduce with :func:`~repro.sparse.convert.csr_vstack`, degree-aware
+        plans (index-set shards plus monster-row column fragments) with
+        the fragment-aware :func:`~repro.sparse.partition.stitch_shard_outputs`
+        — both byte-identical to the unsharded product."""
         from repro.core.api import SpGEMMRunResult
 
         effective_b = b_csr if b_csr is not None else a_csr
-        ranges = plan_row_shards(a_csr, spec.shards, effective_b)
-        if len(ranges) == 1:
+        plan = plan_shards(a_csr, spec.shards, effective_b,
+                           strategy=self.partition)
+        if plan.n_shards == 1:
             # Degenerate plan (single row, empty matrix, one unit of work):
             # run unsharded instead of compiling a one-shard copy.
             return self._run_spgemm(_replace_spec(spec, shards=1))
-        shard_specs = [
-            SpGEMMSpec(a=a_csr.row_slice(lo, hi), b=effective_b,
-                       tile_size=spec.tile_size, verify=spec.verify,
-                       source=f"{spec.source}[{lo}:{hi}]",
-                       label=f"{spec.label}/shard{index}")
-            for index, (lo, hi) in enumerate(ranges)
-        ]
-        shard_results = self._map_specs(shard_specs)
-        output = csr_vstack([result.output for result in shard_results])
+        if plan.ranges is not None:
+            shard_specs = [
+                SpGEMMSpec(a=a_csr.row_slice(lo, hi), b=effective_b,
+                           tile_size=spec.tile_size, verify=spec.verify,
+                           source=f"{spec.source}[{lo}:{hi}]",
+                           label=f"{spec.label}/shard{index}")
+                for index, (lo, hi) in enumerate(plan.ranges)
+            ]
+            shard_results = self._map_specs(shard_specs)
+            output = csr_vstack([result.output for result in shard_results])
+        else:
+            unit_specs, regroup = [], []
+            for index, units in enumerate(
+                    build_shard_units(a_csr, effective_b, plan)):
+                for unit in units:
+                    if unit.fragment is None:
+                        source = f"{spec.source}[shard{index}]"
+                        label = f"{spec.label}/shard{index}"
+                    else:
+                        fragment = unit.fragment
+                        source = (f"{spec.source}[shard{index}:"
+                                  f"r{fragment.row}@c{fragment.col_lo}"
+                                  f":{fragment.col_hi}]")
+                        label = (f"{spec.label}/shard{index}"
+                                 f".r{fragment.row}")
+                    unit_specs.append(SpGEMMSpec(
+                        a=unit.a, b=unit.b, tile_size=spec.tile_size,
+                        verify=spec.verify, source=source, label=label))
+                    regroup.append((index, unit.fragment is None))
+            shard_results = self._map_specs(unit_specs)
+            grouped: list[tuple] = [(None, []) for _ in plan.shards]
+            for (index, is_rows), result in zip(regroup, shard_results):
+                rows_out, frag_outs = grouped[index]
+                if is_rows:
+                    grouped[index] = (result.output, frag_outs)
+                else:
+                    frag_outs.append(result.output)
+            output = stitch_shard_outputs(plan, grouped,
+                                          effective_b.shape[1])
         wall = time.perf_counter() - start
         verified = [result.metrics.get("verified") for result in shard_results]
         powers = [result.power_w for result in shard_results
@@ -414,7 +474,7 @@ class Session:
         }
         provenance = self._provenance(
             cache_hit=all(r.cache_hit for r in shard_results), wall=wall)
-        provenance.shards = len(shard_results)
+        provenance.shards = plan.n_shards
         power_w = max(powers) if powers else 0.0
         energy_j = sum(r.energy_j for r in shard_results)
         # No single compiled program backs a sharded run; a count digest
@@ -497,6 +557,11 @@ class Session:
             "output_nnz": execution.output.nnz,
             "chips": execution.n_chips,
             "shard_skew": counters.get("multichip.shard_skew"),
+            "efficiency": counters.get("multichip.efficiency"),
+            "partition": (execution.plan.strategy
+                          if execution.plan is not None else None),
+            "split_rows": (len(execution.plan.split_rows)
+                           if execution.plan is not None else 0),
             "verified": report.correct if report is not None else None,
         }
         provenance = self._provenance(cache_hit=execution.cache_hit,

@@ -83,8 +83,15 @@ class ServingStats:
         self.coalesced = 0         # duplicates served by a batch-mate's run
         self.batches = 0           # micro-batches dispatched
         self.scale_out_batches = 0  # batches scheduled whole-jobs-per-chip
+        self.degree_partition_runs = 0  # multichip runs on a degree plan
         self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)
         self._latencies: deque[float] = deque(maxlen=_RESERVOIR)
+        # Last observed multichip load-balance telemetry (the autoscaler's
+        # per-batch imbalance signal): shard skew, scale-out efficiency,
+        # and the partition strategy the planner chose.
+        self._multichip_shard_skew: float | None = None
+        self._multichip_efficiency: float | None = None
+        self._multichip_partition: str | None = None
 
     def add(self, counter: str, n: int = 1) -> None:
         with self._lock:
@@ -100,6 +107,19 @@ class ServingStats:
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self._latencies.append(seconds)
+
+    def record_multichip(self, shard_skew, efficiency, partition) -> None:
+        """Record one multichip run's load-balance telemetry (None values
+        are ignored so non-multichip results never clear the signal)."""
+        with self._lock:
+            if shard_skew is not None:
+                self._multichip_shard_skew = float(shard_skew)
+            if efficiency is not None:
+                self._multichip_efficiency = float(efficiency)
+            if partition is not None:
+                self._multichip_partition = str(partition)
+                if partition == "degree":
+                    self.degree_partition_runs += 1
 
     def snapshot(self, queue_depth: int = 0, shed: int = 0,
                  cache: dict | None = None) -> dict:
@@ -119,6 +139,10 @@ class ServingStats:
                 "coalesced": self.coalesced,
                 "batches": self.batches,
                 "scale_out_batches": self.scale_out_batches,
+                "degree_partition_runs": self.degree_partition_runs,
+                "multichip_shard_skew": self._multichip_shard_skew,
+                "multichip_efficiency": self._multichip_efficiency,
+                "multichip_partition": self._multichip_partition,
             }
         row["mean_batch_size"] = (round(sum(sizes) / len(sizes), 3)
                                   if sizes else 0.0)
@@ -310,6 +334,11 @@ class MicroBatcher:
     def _resolve(self, group: list[tuple[ServeRequest, bool]],
                  result) -> None:
         done = time.monotonic()
+        if not isinstance(result, Exception):
+            metrics = getattr(result, "metrics", None) or {}
+            self.stats.record_multichip(metrics.get("shard_skew"),
+                                        metrics.get("efficiency"),
+                                        metrics.get("partition"))
         for request, is_primary in group:
             if isinstance(result, Exception):
                 self.stats.add("failures")

@@ -10,9 +10,11 @@ framework is involved.
 
 Endpoints::
 
-    GET  /healthz     liveness: status, backend, config, chip count
+    GET  /healthz     liveness: status, backend, config, chip count,
+                      partition strategy
     GET  /stats       queue depth, batch sizes, coalescing, shed count,
-                      scheduling decisions, cache hit rate, p50/p95 latency
+                      scheduling decisions, cache hit rate, p50/p95 latency,
+                      multichip shard skew / efficiency / partition strategy
     POST /v1/spgemm   one SpGEMM request -> RunResult.as_row() JSON
     POST /v1/gcn      one GCN-layer request -> RunResult.as_row() JSON
 
@@ -278,6 +280,9 @@ class ReproServer:
                 "config": self.session.chip.config.name,
                 "chips": (self.session.topology.n_chips
                           if self.session.topology is not None else 1),
+                "partition": (self.session.topology.partition
+                              if self.session.topology is not None
+                              else self.session.partition),
             }
         if path == "/stats":
             if method != "GET":

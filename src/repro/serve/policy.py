@@ -51,6 +51,9 @@ class ScheduleDecision:
         predicted_speedup: ``predict_scaleout``'s per-job speedup estimate
             for splitting one representative job across the fleet.
         reason: human-readable justification, surfaced in ``/stats``.
+        partition: the partition strategy the predicted plan used
+            ('contiguous' or 'degree'; 'contiguous' on the degenerate
+            paths that never consult the planner).
     """
 
     mode: str
@@ -58,6 +61,7 @@ class ScheduleDecision:
     n_chips: int
     predicted_speedup: float
     reason: str
+    partition: str = "contiguous"
 
     @property
     def scale_out(self) -> bool:
@@ -101,7 +105,9 @@ def choose_schedule(specs: Sequence[WorkloadSpec],
             ALL_CHIPS_PER_JOB, n_jobs, n_chips, float(n_chips),
             "no CSR SpGEMM operand to predict a shard histogram from")
     b = representative.b if representative.b is not None else None
-    prediction = predict_scaleout(representative.a, n_chips, b)
+    prediction = predict_scaleout(representative.a, n_chips, b,
+                                  partition=topology.partition)
+    strategy = prediction["strategy"]
     speedup = max(1.0, prediction["predicted_speedup"])
     scale_up_makespan = n_jobs / speedup
     scale_out_makespan = float(math.ceil(n_jobs / n_chips))
@@ -109,8 +115,10 @@ def choose_schedule(specs: Sequence[WorkloadSpec],
         return ScheduleDecision(
             WHOLE_JOBS_PER_CHIP, n_jobs, n_chips, speedup,
             f"{n_jobs} jobs drain in {int(scale_out_makespan)} wave(s) on "
-            f"{n_chips} chips; splitting predicts only {speedup:.2f}x/job")
+            f"{n_chips} chips; splitting predicts only {speedup:.2f}x/job "
+            f"({strategy} plan)", partition=strategy)
     return ScheduleDecision(
         ALL_CHIPS_PER_JOB, n_jobs, n_chips, speedup,
-        f"predicted {speedup:.2f}x/job split beats "
-        f"{int(scale_out_makespan)} wave(s) of whole jobs")
+        f"predicted {speedup:.2f}x/job split ({strategy} plan) beats "
+        f"{int(scale_out_makespan)} wave(s) of whole jobs",
+        partition=strategy)

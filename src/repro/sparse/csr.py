@@ -121,6 +121,47 @@ class CSRMatrix:
                          self.data[lo:hi].copy(),
                          (stop - start, self.shape[1]))
 
+    def row_select(self, rows: np.ndarray) -> "CSRMatrix":
+        """Return the given rows, in the given order, as a new CSR matrix.
+
+        The fancy-index generalisation of :meth:`row_slice`: the result
+        keeps the full column dimension, so the product of a row
+        selection of A with B is exactly the matching rows of A @ B —
+        what the degree-aware shard planner's index-set shards rely on.
+        Implemented as one gather (prefix sums + ``np.repeat``), no
+        per-row Python loop.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise IndexError(f"row selection out of range for "
+                             f"{self.shape[0]} rows")
+        counts = self.row_nnz_counts()[rows]
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        source = np.arange(int(indptr[-1]), dtype=np.int64) + np.repeat(
+            self.indptr[rows] - indptr[:-1], counts)
+        return CSRMatrix(indptr, self.indices[source], self.data[source],
+                         (int(rows.size), self.shape[1]))
+
+    def col_range(self, start: int, stop: int) -> "CSRMatrix":
+        """Return only the entries with column in ``[start, stop)``,
+        *keeping the full shape* so column ids stay global.
+
+        This is the operand slice behind monster-row fragment execution:
+        ``A @ B.col_range(lo, hi)`` equals the column range ``[lo, hi)``
+        of A @ B exactly (every partial product landing in that range
+        comes from exactly these B entries, encountered in the same
+        order), so fragment outputs concatenate back byte-identically.
+        """
+        if not 0 <= start <= stop <= self.shape[1]:
+            raise IndexError(f"column range [{start}, {stop}) out of range "
+                             f"for {self.shape[1]} columns")
+        mask = (self.indices >= start) & (self.indices < stop)
+        kept = np.zeros(self.nnz + 1, dtype=np.int64)
+        np.cumsum(mask, out=kept[1:])
+        return CSRMatrix(kept[self.indptr], self.indices[mask],
+                         self.data[mask], self.shape)
+
     def get(self, i: int, j: int) -> float:
         """Return the value at (i, j), or 0.0 if the entry is not stored."""
         cols, vals = self.row(i)

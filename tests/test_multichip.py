@@ -279,19 +279,33 @@ class TestPredictScaleout:
 
     def test_clamps_degenerate_requests(self, wiki):
         tiny = wiki.row_slice(0, 2)
-        prediction = predict_scaleout(tiny, 16, wiki)
+        prediction = predict_scaleout(tiny, 16, wiki,
+                                      partition="contiguous")
         assert prediction["n_chips"] <= 2
+
+    def test_degree_splitting_beats_the_contiguous_clamp(self, wiki):
+        # Two rows on 16 chips: the contiguous planner clamps to 2 shards,
+        # the degree planner merge-path-splits the rows into column-range
+        # fragments and keeps more of the fleet busy.
+        tiny = wiki.row_slice(0, 2)
+        contiguous = predict_scaleout(tiny, 16, wiki,
+                                      partition="contiguous")
+        degree = predict_scaleout(tiny, 16, wiki, partition="degree")
+        assert degree["n_chips"] > contiguous["n_chips"]
+        assert degree["split_rows"] >= 1
+        assert degree["strategy"] == "degree"
 
     def test_execution_result_type(self, wiki):
         chip = NeuraChip("Tile-4")
         backend = get_backend("multichip")
-        backend.topology = ChipTopology(n_chips=2)
+        backend.topology = ChipTopology(n_chips=2, partition="contiguous")
         execution = backend.execute_operands(wiki, None,
                                              chip._context("numpy"),
                                              tile_size=4, verify=False)
         assert isinstance(execution, MultiChipExecutionResult)
         assert execution.n_chips == 2
         assert [run.chip for run in execution.chip_runs] == [0, 1]
-        # Per-chip contexts are distinct instances (isolated chip state).
-        assert execution.chip_runs[0].rows[1] == \
-            execution.chip_runs[1].rows[0]
+        assert execution.plan.strategy == "contiguous"
+        # Contiguous assignments expose their historical (lo, hi) ranges.
+        assert execution.chip_runs[0].row_range[1] == \
+            execution.chip_runs[1].row_range[0]
