@@ -11,8 +11,13 @@ Two modes:
 
 The client fires a burst of concurrent SpGEMM requests against the same
 graph (so the micro-batcher coalesces them and the program cache is hit
-after the first), one GCN-layer request, and then reads ``/stats`` to
-show queue depth, batch sizes, coalescing, and latency percentiles.
+after the first), one GCN-layer request, then exercises the operand
+registry + binary wire path — register the graph once (a server-side
+dataset registration, so this works against a remote server with no
+repro import), fire ~100-byte ref requests against the digest, download
+the product as a binary ``application/x-repro-csr`` frame — and finally
+reads ``/stats`` to show batching, coalescing, latency percentiles, and
+the registry / byte counters.
 
 Run with:  PYTHONPATH=src python examples/serving_client.py
            PYTHONPATH=src python examples/serving_client.py --port 8077
@@ -26,11 +31,31 @@ import json
 import sys
 from concurrent.futures import ThreadPoolExecutor
 
+WIRE_CONTENT_TYPE = "application/x-repro-csr"
 
-def post(host: str, port: int, path: str, payload: dict) -> tuple[int, dict]:
+
+def post(host: str, port: int, path: str, payload: dict,
+         accept: str | None = None) -> tuple[int, dict]:
     connection = http.client.HTTPConnection(host, port, timeout=60)
     try:
+        headers = {"Content-Type": "application/json"}
+        if accept:
+            headers["Accept"] = accept
         connection.request("POST", path, body=json.dumps(payload),
+                           headers=headers)
+        response = connection.getresponse()
+        body = response.read()
+        if response.getheader("Content-Type") == WIRE_CONTENT_TYPE:
+            return response.status, {"_binary": body}
+        return response.status, json.loads(body)
+    finally:
+        connection.close()
+
+
+def put(host: str, port: int, path: str, payload: dict) -> tuple[int, dict]:
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("PUT", path, body=json.dumps(payload),
                            headers={"Content-Type": "application/json"})
         response = connection.getresponse()
         return response.status, json.loads(response.read())
@@ -82,11 +107,49 @@ def drive(host: str, port: int, requests: int = 8) -> int:
     if status != 200:
         return 1
 
+    # --- Operand registry: upload once, reference forever -------------
+    # A server-side dataset registration needs no repro import, so this
+    # works against a remote `repro serve` too.  The returned ref is the
+    # operand's content digest; later requests carry ~100 bytes.
+    status, operand = put(host, port, "/v1/operands",
+                          {"dataset": "wiki-Vote", "max_nodes": 256})
+    print(f"PUT /v1/operands -> {status}  ref={operand.get('ref', '?')[:12]}"
+          f"...  bytes={operand.get('bytes')}")
+    if status != 200:
+        return 1
+    ref_body = {"a": {"ref": operand["ref"]}, "verify": False,
+                "label": "by-ref"}
+    status, row = post(host, port, "/v1/spgemm", ref_body)
+    print(f"POST /v1/spgemm (ref, {len(json.dumps(ref_body))} B body) -> "
+          f"{status}  cycles={row.get('cycles')}")
+    if status != 200 or row.get("cycles") not in cycles:
+        print("ERROR: ref request disagreed with the inline burst")
+        return 1
+
+    # Same product as a binary frame: the metrics row rides in the frame
+    # metadata, the CSR segments as raw little-endian buffers.
+    status, row = post(host, port, "/v1/spgemm", ref_body,
+                       accept=WIRE_CONTENT_TYPE)
+    frame = row.get("_binary", b"")
+    print(f"POST /v1/spgemm (Accept: x-repro-csr) -> {status}  "
+          f"frame={len(frame)} B")
+    if status != 200:
+        return 1
+    try:  # decode when the repro package is importable (self-hosted / CI)
+        from repro.serve.wire import decode_csr
+
+        product, meta = decode_csr(frame)
+        print(f"  decoded product: shape={product.shape} nnz={product.nnz} "
+              f"meta_cycles={meta.get('cycles')}")
+    except ImportError:
+        print("  (repro not importable here; skipping frame decode)")
+
     status, stats = get(host, port, "/stats")
     print(f"GET /stats -> {status}")
     for key in ("requests", "responses", "batches", "mean_batch_size",
                 "coalesced", "cache_hit_rate", "latency_p50_ms",
-                "latency_p95_ms"):
+                "latency_p95_ms", "bytes_in", "bytes_out",
+                "registry_entries", "registry_hits"):
         print(f"  {key:>16}: {stats.get(key)}")
     return 0 if status == 200 else 1
 

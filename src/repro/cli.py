@@ -1,6 +1,6 @@
 """Command-line interface: the Dashboard / NeuraViz replacement.
 
-Eight subcommands cover the workflows the paper's WebGUI exposes::
+Nine subcommands cover the workflows the paper's WebGUI exposes::
 
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
@@ -14,6 +14,7 @@ Eight subcommands cover the workflows the paper's WebGUI exposes::
     python -m repro cache stats                   # on-disk program-cache tier
     python -m repro cache clear
     python -m repro serve --backend analytic --max-batch 8 --max-delay-ms 5
+    python -m repro upload --dataset cora --port 8077   # register an operand
 
 Every workload subcommand routes through one
 :class:`~repro.core.session.Session`, so they all share the same knobs:
@@ -269,13 +270,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          max_delay_ms=args.max_delay_ms,
                          queue_depth=args.queue_depth,
                          request_timeout_s=args.request_timeout,
-                         coalesce=not args.no_coalesce)
+                         coalesce=not args.no_coalesce,
+                         registry_max_bytes=args.registry_max_mib
+                         * 1024 * 1024)
     try:
         asyncio.run(server.run_forever())
     except KeyboardInterrupt:
         pass  # run_forever's signal handler normally wins; this is backup
     finally:
         session.close()
+    return 0
+
+
+def cmd_upload(args: argparse.Namespace) -> int:
+    """Register a dataset's adjacency in a running server's operand
+    registry and print the content-digest ref to use in later requests."""
+    import http.client
+    import json
+
+    if args.server_side:
+        # The server synthesises (and caches) the generator dataset
+        # itself: the cheapest upload, and the entry becomes
+        # dataset-backed so /v1/gcn can take the ref too.
+        body = json.dumps({"dataset": args.dataset,
+                           "max_nodes": args.max_nodes,
+                           "seed": args.seed}).encode()
+        content_type = "application/json"
+    else:
+        csr = load_dataset(args.dataset, max_nodes=args.max_nodes,
+                           seed=args.seed).adjacency_csr()
+        if args.json:
+            body = json.dumps({"indptr": csr.indptr.tolist(),
+                               "indices": csr.indices.tolist(),
+                               "data": csr.data.tolist(),
+                               "shape": list(csr.shape)}).encode()
+            content_type = "application/json"
+        else:
+            from repro.serve.wire import WIRE_CONTENT_TYPE, encode_csr
+
+            body = encode_csr(csr)
+            content_type = WIRE_CONTENT_TYPE
+    connection = http.client.HTTPConnection(args.host, args.port,
+                                            timeout=args.timeout)
+    try:
+        connection.request("PUT", "/v1/operands", body=body,
+                           headers={"Content-Type": content_type})
+        response = connection.getresponse()
+        payload = json.loads(response.read() or b"{}")
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port} ({error})",
+              file=sys.stderr)
+        return 2
+    finally:
+        connection.close()
+    if response.status != 200:
+        print(f"error: server returned {response.status}: "
+              f"{payload.get('error', payload)}", file=sys.stderr)
+        return 1
+    rows = [{
+        "ref": payload["ref"],
+        "dataset": args.dataset,
+        "shape": "x".join(str(n) for n in payload["shape"]),
+        "nnz": payload["nnz"],
+        "bytes": payload["bytes"],
+        "upload_bytes": len(body),
+        "encoding": content_type,
+        "created": payload["created"],
+    }]
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir, f"upload_{args.dataset}")
     return 0
 
 
@@ -412,8 +475,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-coalesce", action="store_true",
                          help="disable serving operand-identical requests "
                               "from a single execution")
+    p_serve.add_argument("--registry-max-mib", type=int, default=256,
+                         help="byte cap (MiB) on the content-addressed "
+                              "operand registry; beyond it LRU operands "
+                              "are evicted (default: %(default)s)")
     add_session(p_serve, default="analytic")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_upload = subparsers.add_parser(
+        "upload", help="register a dataset adjacency in a running "
+                       "server's operand registry")
+    p_upload.add_argument("--dataset", default="cora")
+    p_upload.add_argument("--host", default="127.0.0.1")
+    p_upload.add_argument("--port", type=int, default=8077)
+    p_upload.add_argument("--timeout", type=float, default=30.0,
+                          help="HTTP timeout in seconds")
+    p_upload.add_argument("--json", action="store_true",
+                          help="upload as inline JSON arrays instead of "
+                               "the binary x-repro-csr frame")
+    p_upload.add_argument("--server-side", action="store_true",
+                          help="send only the dataset name; the server "
+                               "synthesises it (dataset-backed entry, "
+                               "usable by /v1/gcn refs)")
+    add_common(p_upload)
+    p_upload.set_defaults(func=cmd_upload)
     return parser
 
 

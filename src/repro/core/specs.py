@@ -38,18 +38,42 @@ class WorkloadSpec:
     label: str = "workload"
 
 
+@dataclass(frozen=True)
+class OperandRef:
+    """Content-addressed handle to a server-resident operand.
+
+    ``ref`` is the operand's content digest
+    (:func:`~repro.core.runner.matrix_fingerprint`), minted by the
+    serving layer's operand registry (``PUT /v1/operands``).  A spec
+    carrying an :class:`OperandRef` is *unresolved* — it cannot execute
+    until :meth:`~repro.serve.registry.OperandRegistry.resolve` swaps the
+    handle for the resident matrix — but it is plain, tiny data, so
+    clients describe multi-megabyte workloads in ~100-byte requests.
+    """
+
+    ref: str
+
+
 @dataclass
 class SpGEMMSpec(WorkloadSpec):
     """One SpGEMM workload: C = A @ B (B defaults to A).
 
     Attributes:
-        a: left operand (CSR/CSC/COO or dense numpy array).
+        a: left operand (CSR/CSC/COO or dense numpy array, or an
+            :class:`OperandRef` to a registered server-side operand —
+            refs must be resolved by the serving registry before the
+            spec reaches a session).
         b: right operand; ``None`` means the A @ A workload.
         tile_size: MMH tile-size override; ``None`` uses the chip default.
         verify: verify the output against a reference (cycle backend only).
         source: workload label recorded in the compiled program.
         shards: split the workload into this many row-group shards that fan
             out over the session's executor and reduce into one result.
+        a_digest / b_digest: known content digests of the operands
+            (stamped by the operand registry on ref resolution) so the
+            serving coalescer keys on them directly instead of
+            re-fingerprinting the arrays per request.  Purely advisory:
+            ``None`` means "fingerprint on demand".
     """
 
     a: Any = None
@@ -58,6 +82,8 @@ class SpGEMMSpec(WorkloadSpec):
     verify: bool = True
     source: str = "spgemm"
     shards: int = 1
+    a_digest: str | None = None
+    b_digest: str | None = None
     label: str = "spgemm"
 
     def __post_init__(self) -> None:

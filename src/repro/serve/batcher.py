@@ -82,6 +82,8 @@ class ServingStats:
         self.cancelled = 0         # cancelled while queued
         self.coalesced = 0         # duplicates served by a batch-mate's run
         self.batches = 0           # micro-batches dispatched
+        self.bytes_in = 0          # request body bytes accepted
+        self.bytes_out = 0         # response body bytes served
         self.scale_out_batches = 0  # batches scheduled whole-jobs-per-chip
         self.degree_partition_runs = 0  # multichip runs on a degree plan
         self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)
@@ -122,7 +124,8 @@ class ServingStats:
                     self.degree_partition_runs += 1
 
     def snapshot(self, queue_depth: int = 0, shed: int = 0,
-                 cache: dict | None = None) -> dict:
+                 cache: dict | None = None,
+                 registry: dict | None = None) -> dict:
         """Flat dict for the ``/stats`` endpoint."""
         with self._lock:
             sizes = list(self._batch_sizes)
@@ -138,6 +141,8 @@ class ServingStats:
                 "cancelled": self.cancelled,
                 "coalesced": self.coalesced,
                 "batches": self.batches,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
                 "scale_out_batches": self.scale_out_batches,
                 "degree_partition_runs": self.degree_partition_runs,
                 "multichip_shard_skew": self._multichip_shard_skew,
@@ -155,7 +160,21 @@ class ServingStats:
             row["cache_misses"] = cache.get("misses", 0)
             row["cache_hit_rate"] = (round(cache["hits"] / lookups, 4)
                                      if lookups else 0.0)
+        if registry:
+            row.update(registry)
         return row
+
+
+def _operand_key(operand, digest: str | None) -> str | None:
+    """Coalescing identity of one operand: the registry digest when the
+    spec carries one (ref-resolved requests — no hashing at all), else a
+    freshly computed fingerprint.  Both are ``matrix_fingerprint`` values,
+    so an inline upload and a registry ref to the same matrix coalesce."""
+    if digest is not None:
+        return digest
+    if not hasattr(operand, "indptr"):
+        return None  # un-fingerprintable operand (dense ndarray, ...)
+    return matrix_fingerprint(operand)
 
 
 def _coalesce_key(spec: WorkloadSpec):
@@ -166,13 +185,16 @@ def _coalesce_key(spec: WorkloadSpec):
     execution and get re-labelled copies of the result."""
     if not isinstance(spec, SpGEMMSpec):
         return None
-    a, b = spec.a, spec.b
-    if not hasattr(a, "indptr") or (b is not None and
-                                    not hasattr(b, "indptr")):
-        return None  # un-fingerprintable operand (dense ndarray, ...)
-    return (matrix_fingerprint(a),
-            None if b is None else matrix_fingerprint(b),
-            spec.tile_size, spec.verify, spec.shards)
+    a_key = _operand_key(spec.a, spec.a_digest)
+    if a_key is None:
+        return None
+    if spec.b is None:
+        b_key = None
+    else:
+        b_key = _operand_key(spec.b, spec.b_digest)
+        if b_key is None:
+            return None
+    return (a_key, b_key, spec.tile_size, spec.verify, spec.shards)
 
 
 class MicroBatcher:

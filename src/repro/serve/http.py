@@ -10,26 +10,43 @@ framework is involved.
 
 Endpoints::
 
-    GET  /healthz     liveness: status, backend, config, chip count,
-                      partition strategy
-    GET  /stats       queue depth, batch sizes, coalescing, shed count,
-                      scheduling decisions, cache hit rate, p50/p95 latency,
-                      multichip shard skew / efficiency / partition strategy
-    POST /v1/spgemm   one SpGEMM request -> RunResult.as_row() JSON
-    POST /v1/gcn      one GCN-layer request -> RunResult.as_row() JSON
+    GET  /healthz             liveness: status, backend, config, chip
+                              count, partition strategy
+    GET  /stats               queue depth, batch sizes, coalescing, shed
+                              count, scheduling decisions, cache hit rate,
+                              p50/p95 latency, bytes in/out, registry
+                              hit/eviction counters, multichip telemetry
+    PUT  /v1/operands         register an operand (binary x-repro-csr
+                              frame, inline JSON arrays, or a named
+                              generator dataset) -> content-digest ref
+    GET  /v1/operands         list resident operands + registry counters
+    GET  /v1/operands/<ref>   operand metadata; ``Accept:
+                              application/x-repro-csr`` downloads the
+                              operand as a binary frame
+    DELETE /v1/operands/<ref> evict one operand (409 while pinned)
+    POST /v1/spgemm           one SpGEMM request -> RunResult.as_row()
+    POST /v1/gcn              one GCN-layer request -> RunResult.as_row()
 
-An SpGEMM body names a dataset (synthesised server-side and cached) or
-carries explicit CSR arrays::
+An SpGEMM body names a dataset (synthesised server-side and cached),
+carries explicit CSR arrays, or references registered operands::
 
     {"dataset": "wiki-Vote", "max_nodes": 256, "seed": 0, "label": "r1"}
     {"a": {"indptr": [...], "indices": [...], "data": [...],
            "shape": [4, 4]}, "b": {...}, "include_output": true}
+    {"a": {"ref": "<digest>"}, "b": {"ref": "<digest>"}}
 
 Responses are the flat ``RunResult.as_row()`` payload (cycles, gops, op
 counts, provenance, cache_hit, wall time); ``include_output`` adds the
-raw CSR arrays of the product.  Backpressure maps to ``503`` (the bounded
-queue load-shed), expired deadlines to ``504``, malformed bodies to
-``400``.
+raw CSR arrays of the product.  An SpGEMM request with ``Accept:
+application/x-repro-csr`` receives the product as a **binary frame**
+instead (the metrics row rides in the frame's metadata blob), streamed
+with chunked transfer once it crosses :data:`CHUNKED_MIN_BYTES` so large
+products are never buffered twice.  Backpressure maps to ``503`` (the
+bounded queue load-shed), expired deadlines to ``504``, malformed bodies
+(JSON or binary frames) to ``400``, unsupported ``Content-Type`` to
+``415``, dangling operand refs to ``404``, and oversized bodies to
+``413`` — rejected from the ``Content-Length`` header alone, before any
+body bytes are buffered.
 
 Failure semantics worth knowing when writing a client: results are
 byte-identical to a direct ``Session.run`` of the same spec, verification
@@ -50,7 +67,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.session import Session
-from repro.core.specs import GCNLayerSpec, SpGEMMSpec
+from repro.core.specs import GCNLayerSpec, OperandRef, SpGEMMSpec
 from repro.datasets.suite import load_dataset
 from repro.serve.batcher import (
     DEFAULT_MAX_BATCH,
@@ -65,6 +82,21 @@ from repro.serve.queue import (
     RequestQueue,
     ServeTimeout,
 )
+from repro.serve.registry import (
+    DEFAULT_REGISTRY_BYTES,
+    OperandPinned,
+    OperandRegistry,
+    RegistryFull,
+    UnknownOperand,
+)
+from repro.serve.wire import (
+    WIRE_CONTENT_TYPE,
+    WireFormatError,
+    decode_csr,
+    encode_csr_frames,
+    frames_nbytes,
+)
+from repro.sparse.convert import csr_to_coo
 from repro.sparse.csr import CSRMatrix
 
 #: Largest accepted request body (explicit CSR operands dominate sizing).
@@ -73,13 +105,23 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Default per-request deadline, queue wait + execution.
 DEFAULT_REQUEST_TIMEOUT_S = 60.0
 
+#: Binary responses at or above this size stream as chunked transfer
+#: (one chunk per frame segment); smaller ones go out with
+#: ``Content-Length`` to spare tiny products the chunk framing.
+CHUNKED_MIN_BYTES = 64 * 1024
+
 #: Bound on the server-side dataset cache; the key (name, max_nodes,
 #: seed) is client-controlled, so the cache is LRU-swept — like every
 #: other buffer in the serving layer, it must not grow with traffic.
 MAX_CACHED_DATASETS = 32
 
+#: Request content types the front-end accepts; anything else is 415.
+_ACCEPTED_CONTENT_TYPES = ("", "application/json", WIRE_CONTENT_TYPE)
+
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                405: "Method Not Allowed", 413: "Payload Too Large",
+                405: "Method Not Allowed", 406: "Not Acceptable",
+                409: "Conflict", 413: "Payload Too Large",
+                415: "Unsupported Media Type",
                 500: "Internal Server Error", 503: "Service Unavailable",
                 504: "Gateway Timeout"}
 
@@ -117,6 +159,39 @@ def _parse_csr(obj: Any, field: str) -> CSRMatrix:
                      tuple(obj["shape"]))
 
 
+def _parse_operand(obj: Any, field: str) -> CSRMatrix | OperandRef:
+    """Parse one workload operand: a registry ref or inline CSR arrays."""
+    if isinstance(obj, dict) and "ref" in obj:
+        ref = obj["ref"]
+        if not isinstance(ref, str) or not ref:
+            raise ValueError(f"operand {field!r}: 'ref' must be a "
+                             "non-empty string digest")
+        return OperandRef(ref)
+    return _parse_csr(obj, field)
+
+
+def _content_type(headers: dict[str, str]) -> str:
+    """The media type of the request body (parameters stripped)."""
+    return headers.get("content-type", "").split(";")[0].strip().lower()
+
+
+def _accepts_wire(headers: dict[str, str]) -> bool:
+    """True when the client asked for a binary x-repro-csr response."""
+    accept = headers.get("accept", "")
+    return any(part.split(";")[0].strip().lower() == WIRE_CONTENT_TYPE
+               for part in accept.split(","))
+
+
+class _BinaryPayload:
+    """A binary response: wire segments streamed instead of a JSON dict."""
+
+    __slots__ = ("frames", "nbytes")
+
+    def __init__(self, frames: list) -> None:
+        self.frames = frames
+        self.nbytes = frames_nbytes(frames)
+
+
 class ReproServer:
     """The serving subsystem, assembled: queue + micro-batcher + HTTP.
 
@@ -128,6 +203,8 @@ class ReproServer:
         queue_depth: bounded-queue size; beyond it requests are shed (503).
         request_timeout_s: per-request deadline (queue wait + execution).
         coalesce: serve operand-identical requests from one execution.
+        registry_max_bytes: byte cap on the content-addressed operand
+            registry (LRU-swept beyond it).
     """
 
     def __init__(self, session: Session, host: str = "127.0.0.1",
@@ -136,12 +213,14 @@ class ReproServer:
                  max_delay_ms: float = DEFAULT_MAX_DELAY_MS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
-                 coalesce: bool = True) -> None:
+                 coalesce: bool = True,
+                 registry_max_bytes: int = DEFAULT_REGISTRY_BYTES) -> None:
         self.session = session
         self.host = host
         self.port = port
         self.request_timeout_s = request_timeout_s
         self.stats = ServingStats()
+        self.registry = OperandRegistry(registry_max_bytes)
         self.queue = RequestQueue(max_depth=queue_depth)
         self.batcher = MicroBatcher(session, self.queue,
                                     max_batch=max_batch,
@@ -232,15 +311,32 @@ class ReproServer:
                                         {"error": "bad Content-Length"},
                                         keep_alive=False)
                     break
+                if length < 0:
+                    await self._respond(writer, 400,
+                                        {"error": "negative Content-Length"},
+                                        keep_alive=False)
+                    break
+                # Both rejections fire on the headers alone — before a
+                # single body byte is read, so an oversized or mistyped
+                # upload costs the server nothing to refuse.
                 if length > MAX_BODY_BYTES:
                     await self._respond(writer, 413,
                                         {"error": "request body too large"},
                                         keep_alive=False)
                     break
+                ctype = _content_type(headers)
+                if ctype not in _ACCEPTED_CONTENT_TYPES:
+                    await self._respond(
+                        writer, 415,
+                        {"error": f"unsupported Content-Type {ctype!r}; "
+                                  "use application/json or "
+                                  f"{WIRE_CONTENT_TYPE}"},
+                        keep_alive=False)
+                    break
                 body = await reader.readexactly(length) if length else b""
                 keep_alive = headers.get("connection", "").lower() != "close"
                 status, payload = await self._route(method.upper(),
-                                                    target, body)
+                                                    target, body, headers)
                 await self._respond(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -253,23 +349,65 @@ class ReproServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    @staticmethod
-    async def _respond(writer: asyncio.StreamWriter, status: int,
-                       payload: dict, keep_alive: bool) -> None:
-        body = json.dumps(_jsonable(payload)).encode()
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: "dict | _BinaryPayload",
+                       keep_alive: bool) -> None:
         connection = "keep-alive" if keep_alive else "close"
-        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        status_line = \
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        if isinstance(payload, _BinaryPayload):
+            await self._respond_binary(writer, status_line, payload,
+                                       connection)
+            return
+        body = json.dumps(_jsonable(payload)).encode()
+        head = (f"{status_line}"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: {connection}\r\n\r\n")
         writer.write(head.encode("latin-1") + body)
+        self.stats.add("bytes_out", len(body))
+        await writer.drain()
+
+    async def _respond_binary(self, writer: asyncio.StreamWriter,
+                              status_line: str, payload: _BinaryPayload,
+                              connection: str) -> None:
+        """Stream a binary frame: chunked (one chunk per wire segment,
+        draining between chunks so a large product is never buffered a
+        second time) above :data:`CHUNKED_MIN_BYTES`, plain
+        ``Content-Length`` below it."""
+        if payload.nbytes >= CHUNKED_MIN_BYTES:
+            head = (f"{status_line}"
+                    f"Content-Type: {WIRE_CONTENT_TYPE}\r\n"
+                    f"Transfer-Encoding: chunked\r\n"
+                    f"Connection: {connection}\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            for segment in payload.frames:
+                if not len(segment):
+                    continue
+                writer.write(f"{len(segment):x}\r\n".encode("latin-1"))
+                writer.write(segment)
+                writer.write(b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+        else:
+            head = (f"{status_line}"
+                    f"Content-Type: {WIRE_CONTENT_TYPE}\r\n"
+                    f"Content-Length: {payload.nbytes}\r\n"
+                    f"Connection: {connection}\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            for segment in payload.frames:
+                writer.write(segment)
+        self.stats.add("bytes_out", payload.nbytes)
         await writer.drain()
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _route(self, method: str, target: str,
-                     body: bytes) -> tuple[int, dict]:
+    async def _route(self, method: str, target: str, body: bytes,
+                     headers: dict[str, str]
+                     ) -> "tuple[int, dict | _BinaryPayload]":
+        if body:
+            self.stats.add("bytes_in", len(body))
         path = target.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
@@ -289,17 +427,88 @@ class ReproServer:
                 return 405, {"error": "use GET"}
             return 200, self.stats.snapshot(queue_depth=self.queue.depth,
                                             shed=self.queue.shed,
-                                            cache=self.session.cache_stats())
+                                            cache=self.session.cache_stats(),
+                                            registry=self.registry.stats())
+        if path == "/v1/operands":
+            if method in ("PUT", "POST"):
+                return self._operand_put(body, headers)
+            if method == "GET":
+                return 200, {"operands": self.registry.entries(),
+                             **self.registry.stats()}
+            return 405, {"error": "use PUT/POST to register, GET to list"}
+        if path.startswith("/v1/operands/"):
+            digest = path[len("/v1/operands/"):]
+            return self._operand_item(method, digest, headers)
         if path == "/v1/spgemm":
             if method != "POST":
                 return 405, {"error": "use POST"}
-            return await self._serve_spgemm(body)
+            return await self._serve_spgemm(body, headers)
         if path == "/v1/gcn":
             if method != "POST":
                 return 405, {"error": "use POST"}
-            return await self._serve_gcn(body)
+            return await self._serve_gcn(body, headers)
         return 404, {"error": f"unknown path {path!r}; endpoints: "
-                              "/healthz /stats /v1/spgemm /v1/gcn"}
+                              "/healthz /stats /v1/operands "
+                              "/v1/spgemm /v1/gcn"}
+
+    # ------------------------------------------------------------------
+    # Operand registry endpoints
+    # ------------------------------------------------------------------
+    def _operand_put(self, body: bytes, headers: dict[str, str]
+                     ) -> tuple[int, dict]:
+        """Register one operand: a binary x-repro-csr frame, inline JSON
+        CSR arrays, or a named generator dataset synthesised server-side."""
+        dataset = None
+        try:
+            if _content_type(headers) == WIRE_CONTENT_TYPE:
+                csr, _meta = decode_csr(body)
+                source = "upload"
+            else:
+                payload = self._json(body)
+                if "dataset" in payload:
+                    dataset = self._dataset(str(payload["dataset"]),
+                                            int(payload.get("max_nodes",
+                                                            256)),
+                                            int(payload.get("seed", 0)))
+                    csr, source = dataset.adjacency_csr(), dataset.name
+                else:
+                    csr, source = _parse_csr(payload, "operand"), "upload"
+        except WireFormatError as err:
+            return 400, {"error": f"bad x-repro-csr frame: {err}"}
+        except (ValueError, TypeError, KeyError,
+                json.JSONDecodeError) as err:
+            return 400, {"error": str(err)}
+        try:
+            entry, created = self.registry.put(csr, source=source,
+                                               dataset=dataset)
+        except RegistryFull as err:
+            return 413, {"error": str(err)}
+        row = entry.describe()
+        row["created"] = created
+        return 200, row
+
+    def _operand_item(self, method: str, digest: str,
+                      headers: dict[str, str]
+                      ) -> "tuple[int, dict | _BinaryPayload]":
+        """Metadata / binary download / delete of one registered operand."""
+        if method == "GET":
+            try:
+                entry = self.registry.get(digest)
+            except UnknownOperand as err:
+                return 404, {"error": str(err)}
+            if _accepts_wire(headers):
+                return 200, _BinaryPayload(
+                    encode_csr_frames(entry.csr, meta=entry.describe()))
+            return 200, entry.describe()
+        if method == "DELETE":
+            try:
+                self.registry.delete(digest)
+            except UnknownOperand as err:
+                return 404, {"error": str(err)}
+            except OperandPinned as err:
+                return 409, {"error": str(err)}
+            return 200, {"deleted": digest}
+        return 405, {"error": "use GET or DELETE"}
 
     # ------------------------------------------------------------------
     # Workload endpoints
@@ -325,12 +534,15 @@ class ReproServer:
                 self._datasets.popitem(last=False)
         return dataset
 
-    async def _serve_spgemm(self, body: bytes) -> tuple[int, dict]:
+    async def _serve_spgemm(self, body: bytes, headers: dict[str, str]
+                            ) -> "tuple[int, dict | _BinaryPayload]":
+        binary = _accepts_wire(headers)
         try:
             payload = self._json(body)
             if "a" in payload:
-                a = _parse_csr(payload["a"], "a")
-                b = _parse_csr(payload["b"], "b") if "b" in payload else None
+                a = _parse_operand(payload["a"], "a")
+                b = (_parse_operand(payload["b"], "b")
+                     if "b" in payload else None)
                 source = str(payload.get("label", "serve"))
             elif "dataset" in payload:
                 dataset = self._dataset(str(payload["dataset"]),
@@ -339,7 +551,8 @@ class ReproServer:
                 a, b = dataset.adjacency_csr(), None
                 source = dataset.name
             else:
-                raise ValueError("body needs 'dataset' or explicit 'a'")
+                raise ValueError("body needs 'dataset', explicit 'a', or "
+                                 "an operand ref")
             spec = SpGEMMSpec(
                 a=a, b=b,
                 tile_size=payload.get("tile_size"),
@@ -351,8 +564,23 @@ class ReproServer:
                                         self.request_timeout_s))
         except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
             return 400, {"error": str(err)}
-        status, row = await self._submit(spec, timeout)
-        if status == 200 and payload.get("include_output"):
+        try:
+            spec, pins = self.registry.resolve(spec)
+        except UnknownOperand as err:
+            return 404, {"error": str(err)}
+        status, row = await self._submit(spec, timeout, pins)
+        if status != 200:
+            return status, row
+        if binary:
+            # Binary Accept implies include_output: the product rides as
+            # raw segments, the metrics row as the frame's metadata blob.
+            result = row.pop("_result")
+            if not hasattr(result.output, "indptr"):
+                return 406, {"error": "result output is not CSR; "
+                                      "cannot encode x-repro-csr"}
+            return 200, _BinaryPayload(
+                encode_csr_frames(result.output, meta=_jsonable(row)))
+        if payload.get("include_output"):
             result = row.pop("_result")
             row["output"] = {"indptr": result.output.indptr,
                              "indices": result.output.indices,
@@ -362,14 +590,38 @@ class ReproServer:
             row.pop("_result", None)
         return status, row
 
-    async def _serve_gcn(self, body: bytes) -> tuple[int, dict]:
+    async def _serve_gcn(self, body: bytes, headers: dict[str, str]
+                         ) -> tuple[int, dict]:
+        if _accepts_wire(headers):
+            return 406, {"error": "GCN layer output is dense; "
+                                  f"{WIRE_CONTENT_TYPE} responses are "
+                                  "SpGEMM-only"}
+        pins: tuple = ()
         try:
             payload = self._json(body)
-            if "dataset" not in payload:
-                raise ValueError("body needs a 'dataset' name")
-            dataset = self._dataset(str(payload["dataset"]),
-                                    int(payload.get("max_nodes", 128)),
-                                    int(payload.get("seed", 0)))
+            spec_dataset = payload.get("dataset")
+            if isinstance(spec_dataset, dict) and "ref" in spec_dataset:
+                digest = str(spec_dataset["ref"])
+                try:
+                    entry = self.registry.get(digest)
+                    pins = (self.registry.acquire(digest),)
+                except UnknownOperand as err:
+                    return 404, {"error": str(err)}
+                # Dataset-backed entries replay the generator dataset —
+                # byte-identical to the inline {"dataset": name} path;
+                # bare CSR uploads aggregate over the matrix itself.
+                dataset = (entry.dataset if entry.dataset is not None
+                           else csr_to_coo(entry.csr))
+                default_label = (entry.source if entry.dataset is not None
+                                 else f"ref:{digest[:12]}")
+            elif spec_dataset is not None:
+                dataset = self._dataset(str(spec_dataset),
+                                        int(payload.get("max_nodes", 128)),
+                                        int(payload.get("seed", 0)))
+                default_label = dataset.name
+            else:
+                raise ValueError("body needs a 'dataset' name or "
+                                 "{'ref': <digest>}")
             spec = GCNLayerSpec(
                 dataset=dataset,
                 feature_dim=int(payload.get("feature_dim", 16)),
@@ -377,24 +629,29 @@ class ReproServer:
                 feature_density=float(payload.get("feature_density", 0.3)),
                 verify=bool(payload.get("verify", False)),
                 seed=int(payload.get("feature_seed", 7)),
-                label=str(payload.get("label", dataset.name)))
+                label=str(payload.get("label", default_label)))
             timeout = float(payload.get("timeout_s",
                                         self.request_timeout_s))
         except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
+            for pin in pins:
+                pin.release()
             return 400, {"error": str(err)}
-        status, row = await self._submit(spec, timeout)
+        status, row = await self._submit(spec, timeout, pins)
         row.pop("_result", None)
         return status, row
 
-    async def _submit(self, spec, timeout_s: float) -> tuple[int, dict]:
+    async def _submit(self, spec, timeout_s: float,
+                      pins: tuple = ()) -> tuple[int, dict]:
         """Enqueue one spec and await its future; maps serving-layer
-        failure modes onto HTTP status codes."""
+        failure modes onto HTTP status codes.  ``pins`` (operand-registry
+        holds) ride on the request and release when its future resolves;
+        if the queue refuses the request they are released here."""
         self.stats.add("requests")
         try:
-            request = self.queue.put(spec, timeout_s=timeout_s)
-        except QueueOverflow as err:
-            return 503, {"error": str(err)}
-        except QueueClosed as err:
+            request = self.queue.put(spec, timeout_s=timeout_s, pins=pins)
+        except (QueueOverflow, QueueClosed) as err:
+            for pin in pins:
+                pin.release()
             return 503, {"error": str(err)}
         try:
             # Small grace over the queue deadline so batcher-side timeouts

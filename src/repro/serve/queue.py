@@ -64,6 +64,11 @@ class ServeRequest:
         deadline: optional ``time.monotonic()`` deadline; the batcher
             fails expired requests with :class:`ServeTimeout` instead of
             dispatching them.
+        pins: operand-registry pins
+            (:class:`~repro.serve.registry.OperandPin`) held while this
+            request is in flight, so a referenced operand cannot be
+            LRU-evicted before it executes.  Released automatically when
+            the future resolves (result, error, or cancellation).
     """
 
     spec: WorkloadSpec
@@ -71,6 +76,7 @@ class ServeRequest:
     request_id: int = 0
     enqueued_at: float = 0.0
     deadline: float | None = None
+    pins: tuple = ()
 
     def expired(self, now: float | None = None) -> bool:
         """True once the deadline (when set) has passed."""
@@ -81,6 +87,11 @@ class ServeRequest:
     def cancel(self) -> bool:
         """Cancel the request; succeeds only while it is still queued."""
         return self.future.cancel()
+
+    def release_pins(self) -> None:
+        """Release every registry pin (idempotent per pin)."""
+        for pin in self.pins:
+            pin.release()
 
 
 class RequestQueue:
@@ -105,12 +116,17 @@ class RequestQueue:
     # Producer side
     # ------------------------------------------------------------------
     def put(self, spec: WorkloadSpec,
-            timeout_s: float | None = None) -> ServeRequest:
+            timeout_s: float | None = None,
+            pins: tuple = ()) -> ServeRequest:
         """Enqueue one spec and return its :class:`ServeRequest`.
 
         Args:
             spec: workload to execute.
             timeout_s: optional per-request deadline, relative to now.
+            pins: operand-registry pins to hold while the request is in
+                flight; released when the future resolves.  On a raise
+                (overflow / closed) the pins are **not** adopted — the
+                caller still owns them.
 
         Raises:
             QueueOverflow: the queue is at ``max_depth`` (load shed).
@@ -127,9 +143,13 @@ class RequestQueue:
                     f"request queue is full ({self.max_depth} waiting); "
                     "load shedding — retry later")
             request = ServeRequest(spec=spec, request_id=next(self._ids),
-                                   enqueued_at=now, deadline=deadline)
+                                   enqueued_at=now, deadline=deadline,
+                                   pins=tuple(pins))
             self._items.append(request)
             self._condition.notify()
+        if request.pins:
+            request.future.add_done_callback(
+                lambda _future: request.release_pins())
         return request
 
     # ------------------------------------------------------------------

@@ -57,6 +57,15 @@ PARTITION_STRATEGIES = ("auto", "contiguous", "degree")
 #: imbalanced (hub rows, power-law tails).
 DEGREE_AUTO_SKEW_THRESHOLD = 1.1
 
+#: Modeled fixed cost, in partial-product units, of each independent
+#: product a shard compiles and executes.  Contiguous shards run exactly
+#: one product; degree plans add one per monster-row fragment, and that
+#: compile/dispatch latency is real — a plan that shaves a few partial
+#: products of load by splitting a row into many fragments can lose on
+#: wall clock.  The auto probe charges this overhead to both candidate
+#: plans before comparing them (:func:`modeled_makespan`).
+UNIT_OVERHEAD_PP = 32
+
 #: Heaviest items per shard that get exact heapq LPT placement; the
 #: remaining light tail is filled class by class with one vectorized
 #: deficit-proportional pass per degree class.
@@ -409,10 +418,30 @@ def _degree_plan(a_csr: CSRMatrix, n_shards: int,
                      loads=loads, split_rows=split_rows)
 
 
+def modeled_makespan(plan: ShardPlan,
+                     unit_overhead_pp: float = UNIT_OVERHEAD_PP) -> float:
+    """Modeled parallel completion time of a plan, in partial products.
+
+    Each shard finishes after its balanced load plus a fixed
+    ``unit_overhead_pp`` charge per independent product it compiles and
+    executes (:attr:`ShardAssignment.n_units`: one for the whole-row
+    index set, plus one per monster-row fragment); the plan completes
+    when its slowest shard does.  With zero overhead this reduces to the
+    max shard load — the pure skew comparison the auto probe used before
+    fragment counts existed.
+    """
+    if plan.loads.size == 0:
+        return 0.0
+    units = np.array([shard.n_units for shard in plan.shards],
+                     dtype=np.float64)
+    return float(np.max(plan.loads + unit_overhead_pp * units))
+
+
 def plan_shards(a_csr: CSRMatrix, n_shards: int,
                 b_csr: CSRMatrix | None = None, *,
                 strategy: str = "auto",
-                weights: np.ndarray | None = None) -> ShardPlan:
+                weights: np.ndarray | None = None,
+                unit_overhead_pp: float = UNIT_OVERHEAD_PP) -> ShardPlan:
     """Plan one SpGEMM across ``n_shards`` under the chosen strategy.
 
     ``strategy="contiguous"`` wraps :func:`plan_row_shards`;
@@ -421,13 +450,20 @@ def plan_shards(a_csr: CSRMatrix, n_shards: int,
     ``"auto"`` — the default — runs a cheap skew probe: it keeps the
     contiguous plan when its skew is at most
     :data:`DEGREE_AUTO_SKEW_THRESHOLD` and otherwise takes the degree
-    plan if (and only if) it actually improves the skew.
+    plan if (and only if) it wins on :func:`modeled_makespan` — max
+    shard load *plus* ``unit_overhead_pp`` per compiled unit, so a
+    degree plan that buys marginal balance with many monster-row
+    fragments (each a separate compile + dispatch) no longer wins on a
+    load comparison its fragment overhead would lose on wall clock.
     """
     if strategy not in PARTITION_STRATEGIES:
         raise ValueError(f"unknown partition strategy {strategy!r}; "
                          f"expected one of {PARTITION_STRATEGIES}")
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if unit_overhead_pp < 0:
+        raise ValueError(f"unit_overhead_pp must be >= 0, "
+                         f"got {unit_overhead_pp}")
     if a_csr.shape[0] == 0:
         return _contiguous_plan(a_csr, 1, np.zeros(0, dtype=np.int64))
     weights = resolve_shard_weights(a_csr, b_csr, weights)
@@ -439,7 +475,9 @@ def plan_shards(a_csr: CSRMatrix, n_shards: int,
     degree = _degree_plan(a_csr, n_shards, b_csr, weights)
     if degree is None:
         return contiguous
-    if strategy == "auto" and degree.skew >= contiguous.skew:
+    if strategy == "auto" \
+            and modeled_makespan(degree, unit_overhead_pp) \
+            >= modeled_makespan(contiguous, unit_overhead_pp):
         return contiguous
     return degree
 

@@ -209,11 +209,27 @@ class TestValidation:
             backend.execute(program, chip._context("numpy"))
 
     def test_degenerate_chip_count_clamps(self, wiki):
-        # More chips than rows of work: the plan (and the counters) shrink.
+        # More chips than rows of work: the contiguous plan (and the
+        # counters) shrink instead of emitting empty shards.
+        tiny = wiki.row_slice(0, 3)
+        with Session("Tile-4", backend="multichip", chips=16,
+                     partition="contiguous") as session:
+            result = session.run(SpGEMMSpec(a=tiny, b=wiki, verify=False))
+        assert result.metrics["chips"] <= 3
+
+    def test_auto_splits_few_heavy_rows_across_fleet(self, wiki):
+        # Under auto, the makespan probe now keeps the fleet busy on this
+        # input: splitting the heavy rows into column-range fragments
+        # beats three whole-row shards even after the per-unit overhead
+        # charge, so the chip count does NOT clamp to the row count.
         tiny = wiki.row_slice(0, 3)
         with Session("Tile-4", backend="multichip", chips=16) as session:
             result = session.run(SpGEMMSpec(a=tiny, b=wiki, verify=False))
-        assert result.metrics["chips"] <= 3
+        with Session("Tile-4", backend="analytic") as single:
+            reference = single.run(SpGEMMSpec(a=tiny, b=wiki, verify=False))
+        assert result.metrics["partition"] == "degree"
+        assert result.metrics["chips"] > 3
+        assert result.metrics["output_nnz"] == reference.metrics["output_nnz"]
 
 
 class TestFacadeAndSubmit:

@@ -18,7 +18,9 @@ from repro.sparse import coo_to_csr, spgemm_kernel
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import (
     DEGREE_AUTO_SKEW_THRESHOLD,
+    UNIT_OVERHEAD_PP,
     build_shard_units,
+    modeled_makespan,
     plan_shards,
     resolve_shard_weights,
     shard_partial_products,
@@ -263,6 +265,49 @@ class TestMonsterRow:
         degree = plan_shards(a, 4, a, strategy="degree")
         assert degree.skew < contiguous.skew
         assert degree.efficiency > contiguous.efficiency
+
+
+class TestUnitOverheadProbe:
+    """The auto probe compares modeled makespans — max shard load plus a
+    per-compiled-unit charge — so fragment-heavy degree plans only win
+    when their balance gain actually survives the extra compiles."""
+
+    def test_modeled_makespan_reduces_to_max_load_at_zero_overhead(self):
+        a = _monster()
+        plan = plan_shards(a, 4, a, strategy="contiguous")
+        assert modeled_makespan(plan, 0.0) == float(plan.loads.max())
+
+    def test_makespan_charges_fragments(self):
+        a = _monster()
+        degree = plan_shards(a, 4, a, strategy="degree")
+        n_units = sum(shard.n_units for shard in degree.shards)
+        assert n_units > degree.n_shards  # monster row split into fragments
+        base = modeled_makespan(degree, 0.0)
+        charged = modeled_makespan(degree, UNIT_OVERHEAD_PP)
+        # At least one overhead charge lands on the slowest shard.
+        assert charged >= base + UNIT_OVERHEAD_PP
+
+    def test_large_overhead_flips_auto_back_to_contiguous(self):
+        a = _monster()
+        assert plan_shards(a, 4, a, strategy="auto").strategy == "degree"
+        total = int(resolve_shard_weights(a, a, None).sum())
+        # With a per-unit charge dwarfing the whole workload, no amount of
+        # balance is worth a single extra compile.
+        flipped = plan_shards(a, 4, a, strategy="auto",
+                              unit_overhead_pp=float(total))
+        assert flipped.strategy == "contiguous"
+
+    def test_explicit_degree_ignores_overhead(self):
+        a = _monster()
+        total = int(resolve_shard_weights(a, a, None).sum())
+        plan = plan_shards(a, 4, a, strategy="degree",
+                           unit_overhead_pp=float(total))
+        assert plan.strategy == "degree"
+
+    def test_negative_overhead_rejected(self):
+        a = _monster()
+        with pytest.raises(ValueError, match="unit_overhead_pp"):
+            plan_shards(a, 4, a, unit_overhead_pp=-1.0)
 
 
 class TestAcceptance:

@@ -146,7 +146,7 @@ class TestSpGEMMEndpoint:
         assert "missing" in payload["error"]
 
     def test_queue_overflow_maps_to_503(self, server, monkeypatch):
-        def shed(spec, timeout_s=None):
+        def shed(spec, timeout_s=None, pins=()):
             raise QueueOverflow("request queue is full (test)")
 
         monkeypatch.setattr(server.queue, "put", shed)
