@@ -29,6 +29,7 @@ from repro.core import (
     BatchSpec,
     GCNLayerSpec,
     GCNRunResult,
+    GNNModelSpec,
     NeuraChip,
     Provenance,
     RunResult,
@@ -60,6 +61,7 @@ __all__ = [
     "Session",
     "SpGEMMSpec",
     "GCNLayerSpec",
+    "GNNModelSpec",
     "SweepSpec",
     "BatchSpec",
     "RunResult",

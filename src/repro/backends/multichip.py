@@ -177,6 +177,9 @@ class MultiChipExecutionResult(ExecutionResult):
     plan: ShardPlan | None = None
     reduce_cycles: float = 0.0
     broadcast_cycles: float = 0.0
+    #: Shard-unit programs compiled fresh during this execution (0 when the
+    #: whole fleet ran from cached / resident programs).
+    fresh_compiles: int = 0
 
     @property
     def n_chips(self) -> int:
@@ -206,6 +209,114 @@ def _compile_shard(shard: CSRMatrix, b_csr: CSRMatrix, tile_size: int,
     if cache is not None:
         cache.put(key, program)
     return program, False
+
+
+@dataclass
+class ResidentGraph:
+    """Per-chip shard state kept resident across the layers of a GNN stack.
+
+    Built once per (graph, feature width) by
+    :meth:`MultiChipBackend.prepare_resident`: the shard plan and the
+    pre-sliced per-chip units stay in host memory, and each unit's compiled
+    program is cached under a *structural* key (A-shard content + B
+    structure), so every subsequent layer only re-binds feature values into
+    the resident programs instead of re-planning, re-slicing and
+    re-compiling.
+    """
+
+    plan: ShardPlan
+    units: list[list[ShardUnit]]
+    tile_size: int
+    source: str
+    b_rows: int
+    width: int
+
+
+def _resident_unit_b(unit: ShardUnit, b_csr: CSRMatrix) -> CSRMatrix:
+    """This layer's B operand for one resident unit: the full matrix for
+    rows units, the global-column-id range slice for fragment units."""
+    if unit.fragment is None:
+        return b_csr
+    return b_csr.col_range(unit.fragment.col_lo, unit.fragment.col_hi)
+
+
+def _resident_unit_program(unit: ShardUnit, unit_b: CSRMatrix,
+                           tile_size: int, source: str,
+                           cache) -> tuple[Program, bool]:
+    """Structural compile-once for a resident unit.
+
+    The cache key hashes the A shard by *content* but B only by
+    *structure*: the compiled instruction stream depends on B's sparsity
+    pattern alone, so a hit is re-bound to this layer's values via
+    :func:`~repro.compiler.program.rebind_b_values` — exactly one compile
+    per (graph shard, feature structure) no matter how deep the stack."""
+    from repro.compiler.lowering import compile_spgemm
+    from repro.compiler.program import rebind_b_values
+    from repro.core.runner import (
+        CACHE_SCHEMA_VERSION,
+        matrix_fingerprint,
+        matrix_structure_fingerprint,
+    )
+
+    key = None
+    if cache is not None:
+        key = (CACHE_SCHEMA_VERSION, "gnn-stack-unit",
+               matrix_fingerprint(unit.a),
+               matrix_structure_fingerprint(unit_b), tile_size)
+        program = cache.get(key)
+        if program is not None:
+            return rebind_b_values(program, unit_b), True
+    program = compile_spgemm(csr_to_csc(unit.a), unit_b, tile_size=tile_size,
+                             source=source)
+    if cache is not None:
+        cache.put(key, program)
+    return program, False
+
+
+def _run_chip_resident(chip: int, assignment: ShardAssignment,
+                       units: list[ShardUnit], b_csr: CSRMatrix,
+                       tile_size: int, source: str, chip_backend: str,
+                       ctx: ExecutionContext, verify: bool,
+                       cache) -> tuple[ChipRun, int]:
+    """One chip's layer over its resident units; returns the run plus the
+    number of unit programs compiled fresh (0 on a warm layer)."""
+    backend = get_backend(chip_backend)
+    rows_output: CSRMatrix | None = None
+    fragment_outputs: list[CSRMatrix] = []
+    reports: list[SimulationReport | None] = []
+    hits: list[bool] = []
+    mmh = partial_products = 0
+    fresh = 0
+    for unit in units:
+        if unit.fragment is None:
+            unit_source = f"{source}@chip{chip}"
+        else:
+            unit_source = (f"{source}@chip{chip}"
+                           f"[r{unit.fragment.row}:c{unit.fragment.col_lo}"
+                           f"-{unit.fragment.col_hi}]")
+        unit_b = _resident_unit_b(unit, b_csr)
+        program, cache_hit = _resident_unit_program(unit, unit_b, tile_size,
+                                                    unit_source, cache)
+        if not cache_hit:
+            fresh += 1
+        execution = backend.execute(program, ctx, a_csr=unit.a, b_csr=unit_b,
+                                    verify=verify)
+        if unit.fragment is None:
+            rows_output = execution.output
+        else:
+            fragment_outputs.append(execution.output)
+        reports.append(execution.report)
+        hits.append(cache_hit)
+        mmh += program.n_instructions
+        partial_products += program.total_partial_products
+    report = None
+    if reports and all(r is not None for r in reports):
+        report = _combine_unit_reports(reports, ctx.config, source)
+    run = ChipRun(chip=chip, assignment=assignment, output=rows_output,
+                  fragment_outputs=fragment_outputs, report=report,
+                  mmh=mmh, partial_products=partial_products,
+                  cache_hit=bool(hits) and all(hits))
+    return run, fresh
 
 
 def _combine_unit_reports(reports: list[SimulationReport],
@@ -394,6 +505,80 @@ class MultiChipBackend(ExecutionBackend):
             backend=self.name, output=output, report=report, functional=None,
             chip_runs=runs, topology=topology, plan=plan,
             reduce_cycles=reduce_cycles, broadcast_cycles=broadcast_cycles)
+
+    # ------------------------------------------------------------------
+    def prepare_resident(self, a_csr: CSRMatrix, b_csr: CSRMatrix,
+                         tile_size: int,
+                         source: str = "gnn-stack") -> ResidentGraph:
+        """Plan and slice the fleet's shard state once for a layer stack.
+
+        The plan and the per-chip unit slices of A are computed from the
+        stack's first feature matrix and stay resident; every layer then
+        executes through :meth:`execute_resident`, which only swaps feature
+        values into the resident unit programs."""
+        plan = plan_shards(a_csr, self.topology.n_chips, b_csr,
+                           strategy=self.topology.partition)
+        units = build_shard_units(a_csr, b_csr, plan)
+        return ResidentGraph(plan=plan, units=units, tile_size=tile_size,
+                             source=source, b_rows=b_csr.shape[0],
+                             width=b_csr.shape[1])
+
+    def execute_resident(self, resident: ResidentGraph, b_csr: CSRMatrix,
+                         ctx: ExecutionContext, verify: bool = True,
+                         charge_broadcast: bool = False
+                         ) -> MultiChipExecutionResult:
+        """Execute one layer of a stack over the resident shard state.
+
+        Unlike :meth:`execute_operands`, nothing is re-planned or re-sliced
+        and shard programs hit the structural resident cache after the first
+        layer.  ``charge_broadcast`` is set by the pipeline on layer 0 only:
+        resident-operand reuse means B ships to the fleet once per *stack*,
+        not once per layer (and not at all when the fleet is already warm)."""
+        if b_csr.shape[0] != resident.b_rows:
+            raise ValueError(
+                f"resident graph expects {resident.b_rows} feature rows, "
+                f"got {b_csr.shape[0]}")
+        topology = self.topology
+        plan = resident.plan
+        executor = self.executor
+
+        def chip_job(item) -> tuple[ChipRun, int]:
+            index, (assignment, chip_units) = item
+            return _run_chip_resident(index, assignment, chip_units, b_csr,
+                                      resident.tile_size, resident.source,
+                                      topology.chip_backend, ctx, verify,
+                                      self.cache)
+
+        items = list(enumerate(zip(plan.shards, resident.units)))
+        if executor is not None and executor.name == "thread":
+            pairs = executor.map(chip_job, items)
+        else:
+            # Residency lives in this process: shipping every resident unit
+            # to a process pool per layer would re-pay exactly the operand
+            # movement the resident graph exists to avoid, so chips run
+            # inline for serial / process executors.
+            pairs = [chip_job(item) for item in items]
+        runs = [run for run, _ in pairs]
+        fresh_compiles = sum(fresh for _, fresh in pairs)
+        output = stitch_shard_outputs(
+            plan, [(run.output, run.fragment_outputs) for run in runs],
+            b_csr.shape[1])
+        reduce_cycles = (topology.reduce_cycles(output.shape[0])
+                         if len(runs) > 1 else 0.0)
+        broadcast_cycles = 0.0
+        if (charge_broadcast and len(runs) > 1
+                and not all(run.cache_hit for run in runs)):
+            broadcast_cycles = topology.broadcast_cycles(b_csr.nnz)
+        report = None
+        if all(run.report is not None for run in runs):
+            report = self._aggregate_report(runs, plan, output, reduce_cycles,
+                                            broadcast_cycles, b_csr.nnz, ctx,
+                                            resident.source)
+        return MultiChipExecutionResult(
+            backend=self.name, output=output, report=report, functional=None,
+            chip_runs=runs, topology=topology, plan=plan,
+            reduce_cycles=reduce_cycles, broadcast_cycles=broadcast_cycles,
+            fresh_compiles=fresh_compiles)
 
     # ------------------------------------------------------------------
     def _run_chips(self, plan: ShardPlan, units: list[list[ShardUnit]],

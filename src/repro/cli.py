@@ -1,6 +1,6 @@
 """Command-line interface: the Dashboard / NeuraViz replacement.
 
-Nine subcommands cover the workflows the paper's WebGUI exposes::
+The subcommands cover the workflows the paper's WebGUI exposes::
 
     python -m repro datasets                      # list the dataset suites
     python -m repro bloat --datasets facebook wiki-Vote
@@ -8,6 +8,7 @@ Nine subcommands cover the workflows the paper's WebGUI exposes::
     python -m repro run --dataset cora --backend analytic --shards 4
     python -m repro run --dataset cora --backend multichip --chips 4
     python -m repro gcn --dataset cora --feature-dim 16 --hidden-dim 8
+    python -m repro gnn --dataset cora --layers 4 --batches 8
     python -m repro sweep --dataset cora          # Tile-4/16/64 sweep (Fig. 11)
     python -m repro batch --datasets cora cora wiki-Vote --backend analytic \
         --executor process --workers 4 --cache-dir ~/.cache/neurachip-repro
@@ -36,7 +37,13 @@ from repro.arch.config import all_spgemm_configs
 from repro.backends import available_backends
 from repro.core.executors import available_executors
 from repro.core.session import Session
-from repro.core.specs import BatchSpec, GCNLayerSpec, SpGEMMSpec, SweepSpec
+from repro.core.specs import (
+    BatchSpec,
+    GCNLayerSpec,
+    GNNModelSpec,
+    SpGEMMSpec,
+    SweepSpec,
+)
 from repro.datasets.suite import GNN_SUITE, TABLE1_SUITE, load_dataset
 from repro.sparse.bloat import bloat_report
 from repro.sparse.kernels import IMPLS
@@ -186,6 +193,40 @@ def cmd_gcn(args: argparse.Namespace) -> int:
     _maybe_save(rows, args.output_dir,
                 f"gcn_{dataset.name}_{result.provenance.config}")
     return 0 if aggregation.correct in (True, None) else 1
+
+
+def cmd_gnn(args: argparse.Namespace) -> int:
+    """Run a multi-layer GNN stack over one resident graph."""
+    dataset = load_dataset(args.dataset, max_nodes=args.max_nodes, seed=args.seed)
+    layer_dims = tuple(args.layer_dims or [args.hidden_dim] * args.layers)
+    with _session(args) as session:
+        result = session.run(GNNModelSpec(
+            dataset=dataset, layer_dims=layer_dims,
+            feature_dim=args.feature_dim, batches=args.batches,
+            label=dataset.name))
+    metrics = result.metrics
+    rows = [{
+        "dataset": dataset.name,
+        "config": result.provenance.config,
+        "backend": result.provenance.backend,
+        "layers": metrics["layers"],
+        "batches": metrics["batches"],
+        "total_cycles": metrics["total_cycles"],
+        "cycles_per_layer": metrics["cycles_per_layer"],
+        "pipeline_cycles": metrics["pipeline_cycles"],
+        "pipeline_speedup": metrics["pipeline_speedup"],
+        "compiles": metrics["compiles"],
+        "output_shape": metrics["output_shape"],
+        "verified": metrics["verified"],
+        "cache_hit": result.provenance.cache_hit,
+        "wall_time_s": round(result.provenance.wall_time_s, 4),
+    }]
+    if result.provenance.chips > 1:
+        rows[0]["chips"] = result.provenance.chips
+    print(format_table(rows))
+    _maybe_save(rows, args.output_dir,
+                f"gnn_{dataset.name}_{result.provenance.config}")
+    return 0 if metrics["verified"] in (True, None) else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -420,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_session(p_gcn)
     add_common(p_gcn)
     p_gcn.set_defaults(func=cmd_gcn)
+
+    p_gnn = subparsers.add_parser(
+        "gnn", help="simulate a multi-layer GNN stack (resident graph)")
+    p_gnn.add_argument("--dataset", default="cora")
+    p_gnn.add_argument("--config", default="Tile-16")
+    p_gnn.add_argument("--feature-dim", type=int, default=16)
+    p_gnn.add_argument("--hidden-dim", type=int, default=8,
+                       help="output width of every layer when --layer-dims "
+                            "is not given")
+    p_gnn.add_argument("--layers", type=int, default=2,
+                       help="stack depth (ignored when --layer-dims is given)")
+    p_gnn.add_argument("--layer-dims", type=int, nargs="*", default=None,
+                       help="explicit per-layer output widths, e.g. 32 32 16")
+    p_gnn.add_argument("--batches", type=int, default=1,
+                       help="batches pipelined through the resident stack")
+    add_session(p_gnn)
+    add_common(p_gnn)
+    p_gnn.set_defaults(func=cmd_gnn)
 
     p_sweep = subparsers.add_parser("sweep", help="tile-size design-space sweep")
     p_sweep.add_argument("--dataset", default="cora")

@@ -19,6 +19,7 @@ serialises only the arrays.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -603,3 +604,44 @@ class Program:
                 f"n_instructions={self.n_instructions}, "
                 f"partial_products={self.total_partial_products}, "
                 f"layout={layout})")
+
+
+def rebind_b_values(program: Program, b_csr) -> Program:
+    """A copy of a columnar ``program`` with the B operand's *values*
+    swapped for ``b_csr.data`` — structure, instruction stream and
+    addressing untouched.
+
+    This is the resident-graph fast path: the compiler's symbolic pass and
+    lowering depend only on operand sparsity, so one compiled aggregation
+    program serves every layer of a GNN stack as long as the feature
+    matrices share a structure.  The cached program is never mutated — the
+    caller gets a fresh :class:`Program` wrapping a shallow
+    :class:`ProgramArrays` copy whose ``b_values`` (the only value-bearing
+    B array) point at the new data.
+
+    Raises:
+        ValueError: for legacy (non-columnar) programs or when ``b_csr``'s
+            nnz does not match the structure the program was compiled for.
+    """
+    arrays = program.arrays
+    if arrays is None:
+        raise ValueError("rebind_b_values needs a columnar program")
+    values = np.ascontiguousarray(b_csr.data, dtype=np.float64)
+    if values.size != arrays.b_values.size:
+        raise ValueError(
+            f"operand structure mismatch: program was compiled for "
+            f"{arrays.b_values.size} B non-zeros, got {values.size}")
+    new_arrays = dataclasses.replace(arrays, b_values=values)
+    flat_cache = arrays.__dict__.get("_flat_cache")
+    if flat_cache is not None:
+        # Structure-only: safe to share with the rebound copy.
+        new_arrays.__dict__["_flat_cache"] = flat_cache
+    return Program(arrays=new_arrays,
+                   address_map=program.address_map,
+                   shape=program.shape,
+                   tile_size=program.tile_size,
+                   a_nnz=program.a_nnz,
+                   b_nnz=program.b_nnz,
+                   total_partial_products=program.total_partial_products,
+                   source=program.source,
+                   metadata=program.metadata)

@@ -43,6 +43,7 @@ from repro.core.specs import (
     BatchSpec,
     ChipTopology,
     GCNLayerSpec,
+    GNNModelSpec,
     Provenance,
     RunResult,
     SpGEMMSpec,
@@ -56,6 +57,7 @@ __all__ = [
     "WorkloadSpec",
     "SpGEMMSpec",
     "GCNLayerSpec",
+    "GNNModelSpec",
     "SweepSpec",
     "BatchSpec",
     "RunResult",

@@ -67,6 +67,25 @@ def matrix_fingerprint(matrix) -> str:
     return digest.hexdigest()
 
 
+def matrix_structure_fingerprint(matrix) -> str:
+    """Stable hash of a sparse matrix's *structure* (shape + index arrays,
+    values excluded).
+
+    Two matrices with identical sparsity patterns but different values map
+    to the same digest.  This is the cache key ingredient for resident-graph
+    GNN stacks: the compiled aggregation program's instruction stream
+    depends only on the operand structure, so layer ``i``'s program can be
+    re-bound to layer ``i+1``'s values when the structure digest matches.
+    """
+    digest = hashlib.sha1()
+    digest.update(f"schema={CACHE_SCHEMA_VERSION}:structure".encode())
+    digest.update(str(matrix.shape).encode())
+    for array in (matrix.indptr, matrix.indices):
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
 def default_cache_dir() -> Path:
     """Default location for the persistent program cache
     (``$XDG_CACHE_HOME`` or ``~/.cache``)."""

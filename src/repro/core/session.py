@@ -60,6 +60,7 @@ from repro.core.runner import (
 from repro.core.specs import (
     BatchSpec,
     GCNLayerSpec,
+    GNNModelSpec,
     Provenance,
     RunResult,
     SpGEMMSpec,
@@ -296,6 +297,8 @@ class Session:
             return self._run_spgemm(spec)
         if isinstance(spec, GCNLayerSpec):
             return self._run_gcn_layer(spec)
+        if isinstance(spec, GNNModelSpec):
+            return self._run_gnn_model(spec)
         if isinstance(spec, SweepSpec):
             return self._run_sweep(spec)
         if isinstance(spec, BatchSpec):
@@ -582,10 +585,45 @@ class Session:
     # ------------------------------------------------------------------
     # GCN layer
     # ------------------------------------------------------------------
+    def _gcn_workload(self, spec: GCNLayerSpec, dataset):
+        """Build the layer workload for a :class:`GCNLayerSpec`.
+
+        Without explicit ``features`` this is the legacy synthetic-feature
+        workload.  With ``features`` (a chained layer fed its predecessor's
+        output) the input flows through the same dense full-structure CSR
+        encoding the :class:`GNNModelSpec` pipeline uses, so a
+        layer-by-layer chain stays byte-identical to the stacked run."""
+        from repro.gnn.gcn import GCNLayer, GCNWorkload, \
+            normalize_adjacency_cached
+        from repro.gnn.pipeline import full_structure_csr
+
+        if spec.features is None:
+            return GCNWorkload.build(dataset, feature_dim=spec.feature_dim,
+                                     hidden_dim=spec.hidden_dim,
+                                     feature_density=spec.feature_density,
+                                     seed=spec.seed,
+                                     weight_seed=spec.weight_seed,
+                                     activation=spec.activation)
+        features = spec.features
+        dense = features if isinstance(features, np.ndarray) \
+            else features.to_dense()
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dataset.n_nodes:
+            raise ValueError(
+                f"features shape {dense.shape} does not match the "
+                f"{dataset.n_nodes}-node dataset")
+        layer = GCNLayer.create(
+            dense.shape[1], spec.hidden_dim,
+            seed=spec.seed + 1 if spec.weight_seed is None
+            else spec.weight_seed,
+            activation=spec.activation)
+        return GCNWorkload(dataset=dataset,
+                           a_hat=normalize_adjacency_cached(dataset.adjacency),
+                           features=full_structure_csr(dense), layer=layer)
+
     def _run_gcn_layer(self, spec: GCNLayerSpec) -> RunResult:
         from repro.core.api import GCNRunResult, SpGEMMRunResult
         from repro.datasets.suite import DatasetSpec, GraphDataset
-        from repro.gnn.gcn import GCNWorkload
 
         start = time.perf_counter()
         dataset = spec.dataset
@@ -594,10 +632,7 @@ class Session:
                                        dataset.nnz, 0.0, None,
                                        feature_dim=spec.feature_dim)
             dataset = GraphDataset(dataset_spec, dataset, 1.0)
-        workload = GCNWorkload.build(dataset, feature_dim=spec.feature_dim,
-                                     hidden_dim=spec.hidden_dim,
-                                     feature_density=spec.feature_density,
-                                     seed=spec.seed)
+        workload = self._gcn_workload(spec, dataset)
         a_csc = workload.adjacency_csc
         tile = self.chip.config.mmh_tile_size
         if self.backend == "multichip":
@@ -639,7 +674,7 @@ class Session:
             aggregation=aggregation, combination_cycles=combination_cycles,
             total_cycles=aggregation_cycles + combination_cycles,
             output=combined, workload=workload,
-            metadata={"feature_dim": spec.feature_dim,
+            metadata={"feature_dim": workload.layer.in_dim,
                       "hidden_dim": spec.hidden_dim})
         wall = time.perf_counter() - start
         metrics = {
@@ -658,6 +693,18 @@ class Session:
             activity=activity, provenance=provenance,
             output=combined, report=report, program=program,
             power_w=power_w, energy_j=energy_j, legacy=legacy)
+
+    # ------------------------------------------------------------------
+    # GNN model stack
+    # ------------------------------------------------------------------
+    def _run_gnn_model(self, spec: GNNModelSpec) -> RunResult:
+        """Execute a whole layer stack over one resident graph: normalise
+        once, compile the aggregation program once, re-bind feature values
+        per layer, pipeline batches across the fleet.  The heavy lifting
+        lives in :func:`repro.gnn.pipeline.run_gnn_model`."""
+        from repro.gnn.pipeline import run_gnn_model
+
+        return run_gnn_model(self, spec)
 
     # ------------------------------------------------------------------
     # Design-space sweep

@@ -104,6 +104,17 @@ class GCNLayerSpec(WorkloadSpec):
         feature_density: density of the synthetic feature matrix.
         verify: verify the aggregation output (cycle backend only).
         seed: feature / weight seed.
+        features: explicit input features (dense ``(n_nodes, in_dim)`` array
+            or CSR) instead of the synthetic matrix — this is how a layer
+            chain feeds layer ``i``'s output into layer ``i+1``.  When set,
+            ``feature_dim`` / ``feature_density`` are ignored and the input
+            is executed through the same dense full-structure operand
+            encoding :class:`GNNModelSpec` uses, so a chained run is
+            byte-identical to the stacked pipeline.
+        weight_seed: explicit weight seed; ``None`` keeps the legacy
+            ``seed + 1``.
+        activation: activation applied by the modelled combination stage
+            ('relu', 'identity'/'none'/None).
     """
 
     dataset: Any = None
@@ -112,11 +123,73 @@ class GCNLayerSpec(WorkloadSpec):
     feature_density: float = 0.3
     verify: bool = True
     seed: int = 7
+    features: Any = None
+    weight_seed: int | None = None
+    activation: str | None = "relu"
     label: str = "gcn-layer"
 
     def __post_init__(self) -> None:
         if self.dataset is None:
             raise ValueError("GCNLayerSpec requires a dataset")
+
+
+@dataclass
+class GNNModelSpec(WorkloadSpec):
+    """A multi-layer GNN over one resident graph: compile once, run L layers.
+
+    The whole stack is one workload: the adjacency is normalised once, the
+    aggregation program is compiled once per resident graph (its symbolic
+    structure depends only on ``A_hat``'s sparsity, never on the dense
+    features) and re-bound to each layer's feature values, and on the
+    multichip backend the per-chip shard programs stay resident across
+    layers with the operand broadcast charged once per stack.
+
+    Attributes:
+        dataset: a :class:`~repro.datasets.suite.GraphDataset` or a raw
+            adjacency :class:`~repro.sparse.coo.COOMatrix`.
+        layer_dims: output width of each layer, outermost first; its length
+            is the stack depth L.
+        feature_dim: width of the synthetic input features (layer 0 input).
+        feature_density: density of the synthetic feature matrix.
+        activations: per-layer activations — a single name applied to every
+            layer, a sequence of length L, or ``None`` for 'relu'
+            everywhere (matching a chain of default :class:`GCNLayerSpec`).
+        seed: feature seed; layer ``i``'s weights use ``seed + 1 + i``.
+        batches: number of feature batches pushed through the resident
+            stack; batches > 1 are pipelined layer-by-layer across the
+            fleet (layer i of batch j runs while layer i+1 processes batch
+            j-1), so the modelled makespan is
+            ``sum(layer_cycles) + (batches - 1) * max(layer_cycles)``.
+        verify: verify each aggregation output (cycle backend only).
+    """
+
+    dataset: Any = None
+    layer_dims: Sequence[int] = (16,)
+    feature_dim: int = 32
+    feature_density: float = 0.3
+    activations: Any = None
+    seed: int = 7
+    batches: int = 1
+    verify: bool = True
+    label: str = "gnn-model"
+
+    def __post_init__(self) -> None:
+        if self.dataset is None:
+            raise ValueError("GNNModelSpec requires a dataset")
+        self.layer_dims = tuple(int(dim) for dim in self.layer_dims)
+        if not self.layer_dims:
+            raise ValueError("GNNModelSpec requires at least one layer")
+        if any(dim < 1 for dim in self.layer_dims):
+            raise ValueError(f"layer dims must be >= 1, got {self.layer_dims}")
+        if self.batches < 1:
+            raise ValueError(f"batches must be >= 1, got {self.batches}")
+        if (self.activations is not None
+                and not isinstance(self.activations, str)):
+            self.activations = tuple(self.activations)
+            if len(self.activations) != len(self.layer_dims):
+                raise ValueError(
+                    f"activations length {len(self.activations)} does not "
+                    f"match stack depth {len(self.layer_dims)}")
 
 
 @dataclass
@@ -198,7 +271,7 @@ class RunResult:
     """Unified envelope for every workload kind a session executes.
 
     Attributes:
-        kind: 'spgemm' | 'gcn_layer' | 'sweep' | 'batch'.
+        kind: 'spgemm' | 'gcn_layer' | 'gnn_model' | 'sweep' | 'batch'.
         label: the spec's label.
         metrics: flat metrics row (cycles, gops, op counts, ...); suitable
             for table / CSV export after dropping ``None`` values.

@@ -31,6 +31,7 @@ counts, scheduling decisions, cache hit rate, and p50/p95 latency.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import deque
@@ -38,7 +39,13 @@ from dataclasses import replace as _replace_result
 
 from repro.core.runner import matrix_fingerprint
 from repro.core.session import Session
-from repro.core.specs import RunResult, SpGEMMSpec, WorkloadSpec
+from repro.core.specs import (
+    GCNLayerSpec,
+    GNNModelSpec,
+    RunResult,
+    SpGEMMSpec,
+    WorkloadSpec,
+)
 from repro.serve.policy import (
     ALL_CHIPS_PER_JOB,
     ScheduleDecision,
@@ -86,6 +93,12 @@ class ServingStats:
         self.bytes_out = 0         # response body bytes served
         self.scale_out_batches = 0  # batches scheduled whole-jobs-per-chip
         self.degree_partition_runs = 0  # multichip runs on a degree plan
+        self.gnn_stacks = 0        # GNNModelSpec stacks served
+        self.gnn_layers = 0        # layers executed inside those stacks
+        # Last served stack's shape and amortized per-layer cost — the
+        # /stats signal that resident-graph reuse is working.
+        self._gnn_last_depth: int | None = None
+        self._gnn_cycles_per_layer: float | None = None
         self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)
         self._latencies: deque[float] = deque(maxlen=_RESERVOIR)
         # Last observed multichip load-balance telemetry (the autoscaler's
@@ -109,6 +122,17 @@ class ServingStats:
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self._latencies.append(seconds)
+
+    def record_gnn(self, metrics: dict) -> None:
+        """Record one served GNN stack's per-stack metrics."""
+        layers = int(metrics.get("layers", 0) or 0)
+        with self._lock:
+            self.gnn_stacks += 1
+            self.gnn_layers += layers
+            self._gnn_last_depth = layers or None
+            total = metrics.get("total_cycles")
+            if layers and total is not None:
+                self._gnn_cycles_per_layer = round(float(total) / layers, 1)
 
     def record_multichip(self, shard_skew, efficiency, partition) -> None:
         """Record one multichip run's load-balance telemetry (None values
@@ -145,6 +169,10 @@ class ServingStats:
                 "bytes_out": self.bytes_out,
                 "scale_out_batches": self.scale_out_batches,
                 "degree_partition_runs": self.degree_partition_runs,
+                "gnn_stacks": self.gnn_stacks,
+                "gnn_layers": self.gnn_layers,
+                "gnn_last_depth": self._gnn_last_depth,
+                "gnn_cycles_per_layer": self._gnn_cycles_per_layer,
                 "multichip_shard_skew": self._multichip_shard_skew,
                 "multichip_efficiency": self._multichip_efficiency,
                 "multichip_partition": self._multichip_partition,
@@ -177,12 +205,61 @@ def _operand_key(operand, digest: str | None) -> str | None:
     return matrix_fingerprint(operand)
 
 
+def _dataset_key(dataset) -> str | None:
+    """Coalescing identity of a GNN spec's graph: a content digest of the
+    raw adjacency (COO entries + shape), memoized on the dataset object so
+    a burst of requests against one resident graph hashes it once."""
+    cached = getattr(dataset, "_coalesce_digest", None)
+    if cached is not None:
+        return cached
+    adjacency = getattr(dataset, "adjacency", dataset)
+    rows = getattr(adjacency, "rows", None)
+    if rows is None:
+        return None  # not a COO-shaped adjacency
+    digest = hashlib.sha1()
+    digest.update(str(adjacency.shape).encode())
+    for array in (adjacency.rows, adjacency.cols, adjacency.data):
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    key = digest.hexdigest()
+    try:
+        dataset._coalesce_digest = key
+    except (AttributeError, TypeError):
+        pass  # frozen / slotted objects just re-hash next time
+    return key
+
+
 def _coalesce_key(spec: WorkloadSpec):
     """Identity key for batch-level request coalescing, or ``None`` when
     the spec kind is not coalescible.  ``label`` and ``source`` are
     deliberately excluded (the program cache key ignores ``source`` too):
     two requests for the same product under different names share one
-    execution and get re-labelled copies of the result."""
+    execution and get re-labelled copies of the result.
+
+    GNN specs coalesce on (dataset digest + dims + seed): the synthetic
+    features and weights are fully determined by the dims and seed, so two
+    such requests describe bit-identical workloads.  A :class:`GCNLayerSpec`
+    carrying explicit ``features`` is a chained layer with a per-request
+    payload — not coalescible."""
+    if isinstance(spec, GCNLayerSpec):
+        if spec.features is not None:
+            return None
+        dataset_key = _dataset_key(spec.dataset)
+        if dataset_key is None:
+            return None
+        return ("gcn", dataset_key, spec.feature_dim, spec.hidden_dim,
+                spec.feature_density, spec.seed, spec.weight_seed,
+                spec.activation, spec.verify)
+    if isinstance(spec, GNNModelSpec):
+        dataset_key = _dataset_key(spec.dataset)
+        if dataset_key is None:
+            return None
+        activations = spec.activations
+        if activations is not None and not isinstance(activations, str):
+            activations = tuple(activations)
+        return ("gnn", dataset_key, tuple(spec.layer_dims), spec.feature_dim,
+                spec.feature_density, activations, spec.seed, spec.batches,
+                spec.verify)
     if not isinstance(spec, SpGEMMSpec):
         return None
     a_key = _operand_key(spec.a, spec.a_digest)
@@ -361,6 +438,8 @@ class MicroBatcher:
             self.stats.record_multichip(metrics.get("shard_skew"),
                                         metrics.get("efficiency"),
                                         metrics.get("partition"))
+            if getattr(result, "kind", None) == "gnn_model":
+                self.stats.record_gnn(metrics)
         for request, is_primary in group:
             if isinstance(result, Exception):
                 self.stats.add("failures")

@@ -26,6 +26,9 @@ Endpoints::
     DELETE /v1/operands/<ref> evict one operand (409 while pinned)
     POST /v1/spgemm           one SpGEMM request -> RunResult.as_row()
     POST /v1/gcn              one GCN-layer request -> RunResult.as_row()
+    POST /v1/gnn              one multi-layer GNN stack over a resident
+                              graph (compile-once, layer-pipelined)
+                              -> RunResult.as_row()
 
 An SpGEMM body names a dataset (synthesised server-side and cached),
 carries explicit CSR arrays, or references registered operands::
@@ -67,7 +70,12 @@ from typing import Any
 import numpy as np
 
 from repro.core.session import Session
-from repro.core.specs import GCNLayerSpec, OperandRef, SpGEMMSpec
+from repro.core.specs import (
+    GCNLayerSpec,
+    GNNModelSpec,
+    OperandRef,
+    SpGEMMSpec,
+)
 from repro.datasets.suite import load_dataset
 from repro.serve.batcher import (
     DEFAULT_MAX_BATCH,
@@ -447,9 +455,13 @@ class ReproServer:
             if method != "POST":
                 return 405, {"error": "use POST"}
             return await self._serve_gcn(body, headers)
+        if path == "/v1/gnn":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._serve_gnn(body, headers)
         return 404, {"error": f"unknown path {path!r}; endpoints: "
                               "/healthz /stats /v1/operands "
-                              "/v1/spgemm /v1/gcn"}
+                              "/v1/spgemm /v1/gcn /v1/gnn"}
 
     # ------------------------------------------------------------------
     # Operand registry endpoints
@@ -629,6 +641,70 @@ class ReproServer:
                 feature_density=float(payload.get("feature_density", 0.3)),
                 verify=bool(payload.get("verify", False)),
                 seed=int(payload.get("feature_seed", 7)),
+                label=str(payload.get("label", default_label)))
+            timeout = float(payload.get("timeout_s",
+                                        self.request_timeout_s))
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
+            for pin in pins:
+                pin.release()
+            return 400, {"error": str(err)}
+        status, row = await self._submit(spec, timeout, pins)
+        row.pop("_result", None)
+        return status, row
+
+    async def _serve_gnn(self, body: bytes, headers: dict[str, str]
+                         ) -> tuple[int, dict]:
+        """One multi-layer GNN stack over a resident graph.
+
+        Body: ``{"dataset": "cora" | {"ref": <digest>}, "layer_dims":
+        [16, 16], ...}`` — or ``"layers": L`` + ``"hidden_dim": H`` as
+        shorthand for a uniform ``[H] * L`` stack.  ``batches`` > 1
+        pipelines feature batches layer-by-layer across the fleet."""
+        if _accepts_wire(headers):
+            return 406, {"error": "GNN stack output is dense; "
+                                  f"{WIRE_CONTENT_TYPE} responses are "
+                                  "SpGEMM-only"}
+        pins: tuple = ()
+        try:
+            payload = self._json(body)
+            spec_dataset = payload.get("dataset")
+            if isinstance(spec_dataset, dict) and "ref" in spec_dataset:
+                digest = str(spec_dataset["ref"])
+                try:
+                    entry = self.registry.get(digest)
+                    pins = (self.registry.acquire(digest),)
+                except UnknownOperand as err:
+                    return 404, {"error": str(err)}
+                dataset = (entry.dataset if entry.dataset is not None
+                           else csr_to_coo(entry.csr))
+                default_label = (entry.source if entry.dataset is not None
+                                 else f"ref:{digest[:12]}")
+            elif spec_dataset is not None:
+                dataset = self._dataset(str(spec_dataset),
+                                        int(payload.get("max_nodes", 128)),
+                                        int(payload.get("seed", 0)))
+                default_label = dataset.name
+            else:
+                raise ValueError("body needs a 'dataset' name or "
+                                 "{'ref': <digest>}")
+            if "layer_dims" in payload:
+                layer_dims = tuple(int(dim)
+                                   for dim in payload["layer_dims"])
+            else:
+                layer_dims = (int(payload.get("hidden_dim", 8)),) \
+                    * int(payload.get("layers", 1))
+            activations = payload.get("activations")
+            if activations is not None and not isinstance(activations, str):
+                activations = tuple(str(act) for act in activations)
+            spec = GNNModelSpec(
+                dataset=dataset,
+                layer_dims=layer_dims,
+                feature_dim=int(payload.get("feature_dim", 16)),
+                feature_density=float(payload.get("feature_density", 0.3)),
+                activations=activations,
+                seed=int(payload.get("feature_seed", 7)),
+                batches=int(payload.get("batches", 1)),
+                verify=bool(payload.get("verify", False)),
                 label=str(payload.get("label", default_label)))
             timeout = float(payload.get("timeout_s",
                                         self.request_timeout_s))
