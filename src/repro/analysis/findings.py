@@ -1,0 +1,60 @@
+"""Shared finding model of the static-analysis subsystem.
+
+Every pass — the IR verifier, the structural checker and the concurrency
+lint — reports through the same :class:`Finding` record so the CLI, the
+CI gate, and the fault-injection tests can treat "which invariant failed
+where" uniformly.  A pass that returns an empty list proved its
+invariants; a non-empty list is machine-readable evidence and makes
+``repro analyze`` exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant.
+
+    Attributes:
+        pass_name: which pass produced it: ``"ir"``, ``"structure"`` or
+            ``"locks"``.
+        check: stable slug of the invariant that failed (e.g.
+            ``"counter-histogram"``, ``"guard-violation"``) — what the
+            fault-injection tests assert on.
+        location: where: ``file.py:line`` for the lint, the program's
+            ``source`` label for the IR verifier, a context string for
+            the structural checker.
+        message: human-readable explanation with the offending values.
+    """
+
+    pass_name: str
+    check: str
+    location: str
+    message: str
+
+    def format(self) -> str:
+        """One-line rendering for CLI / CI output."""
+        return f"[{self.pass_name}:{self.check}] {self.location}: {self.message}"
+
+
+class AnalysisError(ValueError):
+    """Raised when a pass is asked to *enforce* (not just report) its
+    invariants and at least one finding survived.
+
+    Attributes:
+        findings: the findings that triggered the error.
+    """
+
+    def __init__(self, message: str, findings: list[Finding]) -> None:
+        super().__init__(message)
+        self.findings = list(findings)
+
+
+class VerificationError(AnalysisError):
+    """An IR-verifier (pass 1) invariant failed on a compiled program."""
+
+
+class StructureError(AnalysisError):
+    """A structural (pass 2) invariant failed on a CSR/operand payload."""

@@ -1,0 +1,307 @@
+"""Pass 3 — the concurrency lint: lock discipline from annotations.
+
+The serving layer's thread-shared state is guarded by convention: the
+queue's condition, the batcher's stats lock, the registry and program
+caches, the adjacency memo.  This pass turns the convention into a
+checked contract.  Attributes (or module globals) annotated
+
+.. code-block:: python
+
+    self._entries = {}  # guarded-by: _lock
+
+must only be *mutated* inside a ``with <lock>:`` block naming that lock
+(reads stay unchecked — lock-free reads of monotonic counters are a
+deliberate idiom here).  Three checks:
+
+* ``guard-violation`` — a guarded name is assigned, augmented, deleted,
+  subscript-written, or hit with a mutating method call (``append``,
+  ``pop``, ``update``, …) outside a ``with`` on its lock;
+* ``bare-acquire`` — an explicit ``.acquire()`` call that is not inside
+  a ``try`` whose ``finally`` releases (``with`` is the house style);
+* ``unjoined-thread`` — a non-daemon ``threading.Thread`` constructed in
+  a file that never calls ``.join()`` (shutdown would hang).
+
+Escape hatches: ``__init__`` / ``__post_init__`` bodies and module-level
+statements are exempt (construction precedes sharing); a function whose
+``def`` line carries ``# lockcheck: holds <lock>`` is analyzed as if
+that lock were held (for helpers documented as called-with-lock-held);
+a statement line carrying ``# lockcheck: ignore`` is skipped.
+
+Everything is stdlib ``ast`` — no third-party linter involved.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"#\s*lockcheck:\s*holds\s+([A-Za-z_]\w*)")
+_IGNORE_RE = re.compile(r"#\s*lockcheck:\s*ignore")
+
+#: Method calls treated as mutations of their receiver.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popleft", "popitem", "remove", "setdefault",
+    "sort", "update",
+})
+
+_EXEMPT_FUNCTIONS = frozenset({"__init__", "__post_init__"})
+
+
+def _finding(check: str, path: Path, line: int, message: str) -> Finding:
+    return Finding(pass_name="locks", check=check,
+                   location=f"{path}:{line}", message=message)
+
+
+def _last_name(node: ast.expr) -> str | None:
+    """Trailing identifier of a Name / Attribute chain (``self._lock`` ->
+    ``_lock``), or None for anything else."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mutation_root(node: ast.expr) -> str | None:
+    """Name being mutated by an assignment target, seen through any
+    number of subscripts (``self._entries[key]`` -> ``_entries``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _last_name(node)
+
+
+def _line_annotations(source: str) -> tuple[dict[int, str], dict[int, str],
+                                            set[int]]:
+    """Per-line ``guarded-by`` locks, ``holds`` locks and ignore lines."""
+    guards: dict[int, str] = {}
+    holds: dict[int, str] = {}
+    ignores: set[int] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if match := _GUARD_RE.search(text):
+            guards[lineno] = match.group(1)
+        if match := _HOLDS_RE.search(text):
+            holds[lineno] = match.group(1)
+        if _IGNORE_RE.search(text):
+            ignores.add(lineno)
+    return guards, holds, ignores
+
+
+def _collect_guarded(tree: ast.Module,
+                     guards: dict[int, str]) -> dict[str, str]:
+    """Map attribute/global name -> lock name, from annotated assignments.
+
+    An annotation binds to the assignment statement on its line: the
+    targets' roots (``self._entries`` -> ``_entries``, a bare module
+    global -> its name) become guarded names.
+    """
+    guarded: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        lock = None
+        for lineno in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            if lineno in guards:
+                lock = guards[lineno]
+                break
+        if lock is None:
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            name = _mutation_root(target)
+            if name is not None:
+                guarded[name] = lock
+    return guarded
+
+
+def _with_locks(node: ast.With) -> set[str]:
+    """Lock names entered by a ``with`` statement."""
+    names = set()
+    for item in node.items:
+        expr = item.context_expr
+        # ``with lock:`` / ``with self._lock:`` / ``with a, b:``; a call
+        # like ``with lock_for(x):`` contributes its function name.
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = _last_name(expr)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+class _FileLint:
+    def __init__(self, path: Path, source: str) -> None:
+        self.path = path
+        self.tree = ast.parse(source, filename=str(path))
+        self.guards, self.holds, self.ignores = _line_annotations(source)
+        self.guarded = _collect_guarded(self.tree, self.guards)
+        self.findings: list[Finding] = []
+
+    # -- statement walk with a held-lock set ---------------------------
+    def run(self) -> list[Finding]:
+        for node in self.tree.body:
+            self._visit_toplevel(node)
+        self._check_threads()
+        self._check_acquires()
+        return self.findings
+
+    def _visit_toplevel(self, node: ast.stmt) -> None:
+        # Module-level statements are exempt (import-time construction);
+        # descend into defs looking for function bodies.
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                self._visit_toplevel(child)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._enter_function(node)
+
+    def _enter_function(self, node: ast.FunctionDef
+                        | ast.AsyncFunctionDef) -> None:
+        if node.name in _EXEMPT_FUNCTIONS:
+            return
+        held: set[str] = set()
+        if (lock := self.holds.get(node.lineno)) is not None:
+            held.add(lock)
+        for statement in node.body:
+            self._visit(statement, held)
+
+    def _visit(self, node: ast.stmt, held: set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def does not run under the enclosing with.
+            self._enter_function(node)
+            return
+        if isinstance(node, ast.With):
+            inner = held | _with_locks(node)
+            for statement in node.body:
+                self._visit(statement, inner)
+            return
+        self._check_statement(node, held)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._visit(child, held)
+            elif isinstance(child, ast.expr):
+                self._check_expression_calls(child, held)
+
+    # -- mutation detection --------------------------------------------
+    def _check_statement(self, node: ast.stmt, held: set[str]) -> None:
+        if node.lineno in self.ignores:
+            return
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            name = _mutation_root(target)
+            self._report_if_unguarded(name, node.lineno, held, "assigned")
+
+    def _check_expression_calls(self, node: ast.expr,
+                                held: set[str]) -> None:
+        for call in (n for n in ast.walk(node) if isinstance(n, ast.Call)):
+            if call.lineno in self.ignores:
+                continue
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                name = _mutation_root(func.value)
+                self._report_if_unguarded(
+                    name, call.lineno, held, f"mutated via .{func.attr}()")
+
+    def _report_if_unguarded(self, name: str | None, lineno: int,
+                             held: set[str], action: str) -> None:
+        if name is None or name not in self.guarded:
+            return
+        lock = self.guarded[name]
+        if lock not in held:
+            self.findings.append(_finding(
+                "guard-violation", self.path, lineno,
+                f"{name} is {action} outside 'with {lock}:' "
+                f"(declared guarded-by: {lock})"))
+
+    # -- whole-file checks ---------------------------------------------
+    def _check_threads(self) -> None:
+        joins = any(isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr == "join"
+                    for n in ast.walk(self.tree))
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _last_name(node.func) != "Thread":
+                continue
+            if node.lineno in self.ignores:
+                continue
+            daemon = next((kw.value for kw in node.keywords
+                           if kw.arg == "daemon"), None)
+            is_daemon = (isinstance(daemon, ast.Constant)
+                         and daemon.value is True)
+            if not is_daemon and not joins:
+                self.findings.append(_finding(
+                    "unjoined-thread", self.path, node.lineno,
+                    "non-daemon Thread constructed but no .join() call "
+                    "appears in this file — shutdown would hang"))
+
+    def _check_acquires(self) -> None:
+        # try/finally ranges whose finally releases a lock.
+        safe_ranges: list[tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Try) and any(
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr == "release"
+                    for stmt in node.finalbody for n in ast.walk(stmt)):
+                # The idiom acquires on the line *before* the try, so the
+                # safe range starts one line early.
+                safe_ranges.append((node.lineno - 1, node.end_lineno
+                                    or node.lineno))
+        for node in ast.walk(self.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"):
+                continue
+            # Only lock-like receivers: plenty of APIs (refcount pins,
+            # resource pools) also spell their verb "acquire".
+            receiver = (_last_name(node.func.value) or "").lower()
+            if not any(hint in receiver for hint in
+                       ("lock", "condition", "cond", "sem", "mutex")):
+                continue
+            if node.lineno in self.ignores:
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in safe_ranges):
+                continue
+            self.findings.append(_finding(
+                "bare-acquire", self.path, node.lineno,
+                ".acquire() without a with-statement or a releasing "
+                "try/finally — a raised exception would leak the lock"))
+
+
+def _python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_file(path: Path) -> list[Finding]:
+    """Lint one Python file; syntax errors are reported, not raised."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        return _FileLint(path, source).run()
+    except (SyntaxError, UnicodeDecodeError, OSError) as error:
+        return [_finding("unparseable", path, getattr(error, "lineno", 0)
+                         or 0, f"could not analyze: {error}")]
+
+
+def lint_paths(paths: Iterable[Path]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for path in _python_files(paths):
+        findings.extend(lint_file(path))
+    return findings

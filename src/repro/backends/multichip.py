@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.structure import require_valid_csr
 from repro.backends.base import ExecutionBackend, ExecutionContext, ExecutionResult
 from repro.backends.registry import get_backend, register_backend
 from repro.compiler.program import Program
@@ -485,9 +486,11 @@ class MultiChipBackend(ExecutionBackend):
                            strategy=topology.partition)
         units = build_shard_units(a_csr, effective_b, plan)
         runs = self._run_chips(plan, units, ctx, tile_size, source, verify)
-        output = stitch_shard_outputs(
-            plan, [(run.output, run.fragment_outputs) for run in runs],
-            effective_b.shape[1])
+        output = require_valid_csr(
+            stitch_shard_outputs(
+                plan, [(run.output, run.fragment_outputs) for run in runs],
+                effective_b.shape[1]),
+            context=f"stitch:{source}")
         reduce_cycles = (topology.reduce_cycles(output.shape[0])
                          if len(runs) > 1 else 0.0)
         # B is replicated on every chip: a cold run (any shard compiled
@@ -560,9 +563,11 @@ class MultiChipBackend(ExecutionBackend):
             pairs = [chip_job(item) for item in items]
         runs = [run for run, _ in pairs]
         fresh_compiles = sum(fresh for _, fresh in pairs)
-        output = stitch_shard_outputs(
-            plan, [(run.output, run.fragment_outputs) for run in runs],
-            b_csr.shape[1])
+        output = require_valid_csr(
+            stitch_shard_outputs(
+                plan, [(run.output, run.fragment_outputs) for run in runs],
+                b_csr.shape[1]),
+            context=f"stitch:{resident.source}")
         reduce_cycles = (topology.reduce_cycles(output.shape[0])
                          if len(runs) > 1 else 0.0)
         broadcast_cycles = 0.0

@@ -14,6 +14,8 @@ The subcommands cover the workflows the paper's WebGUI exposes::
         --executor process --workers 4 --cache-dir ~/.cache/neurachip-repro
     python -m repro cache stats                   # on-disk program-cache tier
     python -m repro cache clear
+    python -m repro analyze                       # static analysis (3 passes)
+    python -m repro analyze --pass locks src/     # concurrency lint only
     python -m repro serve --backend analytic --max-batch 8 --max-delay-ms 5
     python -m repro upload --dataset cora --port 8077   # register an operand
 
@@ -299,6 +301,34 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the static-analysis passes; nonzero exit on any finding."""
+    import repro
+    from repro.analysis.lockcheck import lint_paths
+    from repro.analysis.selfcheck import ir_selfcheck, structure_selfcheck
+
+    wanted = args.passes
+    findings = []
+    ran = []
+    if wanted in ("ir", "all"):
+        ran.append("ir")
+        findings += ir_selfcheck(max_nodes=args.max_nodes, seed=args.seed)
+    if wanted in ("structure", "all"):
+        ran.append("structure")
+        findings += structure_selfcheck(max_nodes=args.max_nodes,
+                                        seed=args.seed)
+    if wanted in ("locks", "all"):
+        ran.append("locks")
+        paths = ([Path(p) for p in args.paths] if args.paths
+                 else [Path(repro.__file__).parent])
+        findings += lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    print(f"analyze: {len(findings)} finding(s) across "
+          f"{'/'.join(ran)} pass(es)")
+    return 1 if findings else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve SpGEMM / GCN requests over HTTP with micro-batching."""
     import asyncio
@@ -510,6 +540,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache directory (default: the versioned "
                               "per-user cache dir)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_analyze = subparsers.add_parser(
+        "analyze", help="static analysis: IR verifier, structural checker "
+                        "and concurrency lint")
+    p_analyze.add_argument("--pass", dest="passes", default="all",
+                           choices=["ir", "structure", "locks", "all"],
+                           help="which pass to run (default: all three)")
+    p_analyze.add_argument("paths", nargs="*",
+                           help="files/directories for the locks pass "
+                                "(default: the installed repro package)")
+    p_analyze.add_argument("--max-nodes", type=int, default=192,
+                           help="dataset scale for the ir/structure "
+                                "self-checks")
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument("--output-dir", default=None,
+                           help=argparse.SUPPRESS)
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_serve = subparsers.add_parser(
         "serve", help="serve SpGEMM/GCN requests over HTTP with "

@@ -32,6 +32,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.verifier import (
+    OFFSET_LIMIT as _OFFSET_LIMIT,  # noqa: F401  (historical import surface)
+    check_offset_arrays as _check_offset_arrays,
+    require_offset as _require_offset,
+)
 from repro.arch.isa import MMHInstruction, Opcode
 from repro.compiler.program import (
     AddressMap,
@@ -45,35 +50,10 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.symbolic import SymbolicProduct, symbolic_spgemm_from_csc
 
-#: 22-bit register fields of the MMH instruction limit the per-instruction
-#: operand offsets (Figure 7).
-_OFFSET_LIMIT = (1 << 22) - 1
-
-
-def _require_offset(offset: int, operand: str = "operand") -> int:
-    """Validate an operand offset against the 22-bit MMH register field.
-
-    Offsets used to be silently masked (``offset & _OFFSET_LIMIT``), which
-    aliased addresses on operands larger than 4 MiB of laid-out data; now
-    an overflowing offset is a compile error with a remediation hint.
-    """
-    if offset > _OFFSET_LIMIT:
-        raise ValueError(
-            f"{operand} offset {offset} exceeds the 22-bit MMH register "
-            f"field (max {_OFFSET_LIMIT}); the laid-out operands are too "
-            "large for one program's address space.  Row-sharding the "
-            "workload (e.g. SpGEMMSpec(shards=N)) helps when the A/output "
-            "regions dominate the layout; a large B operand is replicated "
-            "into every shard and must be shrunk (fewer columns / sparser "
-            "features) instead")
-    return offset
-
-
-def _check_offset_arrays(**named_arrays: np.ndarray) -> None:
-    """Vectorized overflow check over per-op address columns."""
-    for operand, addresses in named_arrays.items():
-        if addresses.size and int(addresses.max()) > _OFFSET_LIMIT:
-            _require_offset(int(addresses.max()), operand)
+# The 22-bit MMH offset limit and its compile-time checks live in
+# repro.analysis.verifier so the compiler and the static IR verifier can
+# never drift apart; the private aliases keep this module's call sites
+# and its historical import surface stable.
 
 
 def _lower_columnar(a_csc: CSCMatrix, b_csr: CSRMatrix,

@@ -75,6 +75,24 @@ class AddressMap:
                    roll_counter_base=roll_counter_base, output_base=output_base,
                    total_bytes=cursor)
 
+    def regions(self) -> dict[str, tuple[int, int]]:
+        """Per-region ``[start, end)`` byte bounds, in layout order.
+
+        The regions are back to back, so each region ends where the next
+        one begins and the last ends at ``total_bytes``.  This is the
+        bounds oracle the static IR verifier checks operand offsets
+        against.
+        """
+        bases = [("a_data", self.a_data_base),
+                 ("a_indices", self.a_indices_base),
+                 ("b_col_ind", self.b_col_ind_base),
+                 ("b_data", self.b_data_base),
+                 ("roll_counter", self.roll_counter_base),
+                 ("output", self.output_base)]
+        ends = [base for _, base in bases[1:]] + [self.total_bytes]
+        return {name: (base, end)
+                for (name, base), end in zip(bases, ends)}
+
 
 @dataclass(frozen=True)
 class HACCMacroOp:

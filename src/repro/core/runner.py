@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analysis.verifier import verify_program
 from repro.compiler.program import Program
 from repro.sparse.csr import CSRMatrix
 
@@ -228,12 +229,13 @@ class ProgramCache:
                  ) -> None:
         self.capacity = max(0, capacity)
         self.max_disk_bytes = max_disk_bytes
-        self._entries: OrderedDict[tuple, Program] = OrderedDict()
+        self._entries: OrderedDict[tuple, Program] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_evictions = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.disk_hits = 0  # guarded-by: _lock
+        self.disk_evictions = 0  # guarded-by: _lock
+        self.verify_failed = 0  # guarded-by: _lock
         self.cache_dir: Path | None = None
         if cache_dir is not None:
             path = Path(cache_dir).expanduser()
@@ -283,7 +285,7 @@ class ProgramCache:
             self._store(key, program)
         self._spill_to_disk(key, program)
 
-    def _store(self, key: tuple, program: Program) -> None:
+    def _store(self, key: tuple, program: Program) -> None:  # lockcheck: holds _lock
         if self.capacity <= 0:
             return
         self._entries[key] = program
@@ -303,6 +305,20 @@ class ProgramCache:
                 schema, stored_key, program = pickle.load(handle)
             if schema != CACHE_SCHEMA_VERSION or stored_key != key:
                 raise ValueError("stale or colliding cache entry")
+            # The cache tier is payload-agnostic (tests and callers may
+            # store non-Program values); only compiled programs carry IR
+            # invariants to verify.
+            findings = (verify_program(program, level="quick")
+                        if isinstance(program, Program) else [])
+            if findings:
+                # A pickle that unpickles into an ill-formed program is
+                # treated exactly like a corrupt entry (drop + recompile),
+                # but counted separately: corruption that survives
+                # pickle.load is worth alarming on.
+                with self._lock:
+                    self.verify_failed += 1
+                raise ValueError("disk cache entry failed IR verification: "
+                                 + findings[0].format())
             try:
                 os.utime(path)  # LRU touch: hot entries survive the sweep
             except OSError:
@@ -353,15 +369,21 @@ class ProgramCache:
         # Never evict the newest entry: a single program larger than the
         # cap must stay cached (deleting it would force a recompile on
         # every subsequent run without ever freeing the budget it needs).
+        evicted = 0
         for _, size, path in sorted(entries)[:-1]:
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 continue
-            self.disk_evictions += 1
+            evicted += 1
             total -= size
             if total <= self.max_disk_bytes:
                 break
+        if evicted:
+            # _sweep_disk runs outside the lock (it only touches the
+            # filesystem); the shared counter update must not.
+            with self._lock:
+                self.disk_evictions += evicted
 
     def clear_disk(self) -> int:
         """Remove every on-disk entry (and stray temp files); returns the
@@ -392,7 +414,8 @@ class ProgramCache:
                 entries += 1
         return {"disk_entries": entries, "disk_bytes": total,
                 "max_disk_bytes": self.max_disk_bytes,
-                "disk_evictions": self.disk_evictions}
+                "disk_evictions": self.disk_evictions,
+                "verify_failed": self.verify_failed}
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

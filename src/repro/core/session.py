@@ -45,6 +45,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.analysis.findings import VerificationError
+from repro.analysis.verifier import VERIFY_LEVELS, verify_program
 from repro.arch.config import NeuraChipConfig, get_config
 from repro.backends import ChipTopology, get_backend
 from repro.compiler import compile_gcn_aggregation
@@ -192,7 +194,8 @@ class Session:
                  mapping_scheme: str | None = None,
                  eviction_mode: str = "rolling",
                  params: SimulationParams | None = None,
-                 mapping_seed: int = 0) -> None:
+                 mapping_seed: int = 0,
+                 verify: str | None = None) -> None:
         from repro.core.api import NeuraChip
 
         if isinstance(chip_config, NeuraChip):
@@ -236,6 +239,17 @@ class Session:
         self.cache = cache if cache is not None else \
             ProgramCache(cache_capacity, cache_dir=cache_dir,
                          max_disk_bytes=cache_max_disk_bytes)
+        if verify in (None, "off"):
+            self.verify_mode: str | None = None
+        elif verify in VERIFY_LEVELS:
+            self.verify_mode = verify
+        else:
+            raise ValueError(f"unknown verify mode {verify!r}; expected "
+                             f"one of {VERIFY_LEVELS} or None/'off'")
+        self._verify_lock = threading.Lock()
+        self._verified_digests: set = set()  # guarded-by: _verify_lock
+        self.verify_runs = 0  # guarded-by: _verify_lock
+        self.verify_skips = 0  # guarded-by: _verify_lock
         self._local = threading.local()
         self._closed = False
 
@@ -288,6 +302,42 @@ class Session:
     def cache_stats(self) -> dict:
         """Program-cache hit/miss counters and sizing."""
         return self.cache.stats()
+
+    def verify_stats(self) -> dict:
+        """IR-verification counters: mode, programs verified (one per
+        distinct cache key, memoized) and memo-hit skips."""
+        with self._verify_lock:
+            return {"verify_mode": self.verify_mode,
+                    "verify_runs": self.verify_runs,
+                    "verify_skips": self.verify_skips}
+
+    def _maybe_verify(self, key: tuple, program):
+        """Run the static IR verifier on ``program`` once per cache key.
+
+        With ``verify=None`` this is a no-op.  Otherwise the first sight
+        of a key (fresh compile, memory hit or disk hit) pays one
+        verification at the session's level; repeats are memo hits.  A
+        failed verification un-reserves the key (so a later, repaired
+        program is re-checked) and raises
+        :class:`~repro.analysis.findings.VerificationError`.
+        """
+        if self.verify_mode is None:
+            return program
+        with self._verify_lock:
+            if key in self._verified_digests:
+                self.verify_skips += 1
+                return program
+            self._verified_digests.add(key)
+        findings = verify_program(program, level=self.verify_mode)
+        if findings:
+            with self._verify_lock:
+                self._verified_digests.discard(key)
+            raise VerificationError(
+                f"program {program.source!r} failed IR verification: "
+                + "; ".join(f.format() for f in findings[:3]), findings)
+        with self._verify_lock:
+            self.verify_runs += 1
+        return program
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -344,6 +394,7 @@ class Session:
             "eviction_mode": chip.eviction_mode,
             "params": chip.params,
             "mapping_seed": chip.mapping_seed,
+            "verify": self.verify_mode,
         }
 
     # ------------------------------------------------------------------
@@ -356,11 +407,11 @@ class Session:
         key = self.cache.key(a_csr, b_csr, tile_size)
         program = self.cache.get(key)
         if program is not None:
-            return program, True
+            return self._maybe_verify(key, program), True
         program = self.chip.compile(a_csr, b_csr, tile_size=tile_size,
                                     source=source)
         self.cache.put(key, program)
-        return program, False
+        return self._maybe_verify(key, program), False
 
     def _run_spgemm(self, spec: SpGEMMSpec) -> RunResult:
         from repro.core.api import SpGEMMRunResult, _as_csr
@@ -657,6 +708,7 @@ class Session:
                     a_csc, workload.features, tile_size=tile,
                     dataset=workload.dataset.name)
                 self.cache.put(key, program)
+            program = self._maybe_verify(key, program)
             execution = get_backend(self.backend).execute(
                 program, self.chip._context(self.impl),
                 a_csr=csc_to_csr(a_csc), b_csr=workload.features,

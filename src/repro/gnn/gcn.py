@@ -62,10 +62,10 @@ def normalize_adjacency(adjacency: COOMatrix, add_self_loops: bool = True) -> CS
 #: comfortably covers a serving host's hot set without unbounded growth.
 ADJACENCY_CACHE_CAPACITY = 32
 
-_adjacency_cache: OrderedDict[str, CSRMatrix] = OrderedDict()
+_adjacency_cache: OrderedDict[str, CSRMatrix] = OrderedDict()  # guarded-by: _adjacency_cache_lock
 _adjacency_cache_lock = threading.Lock()
-_adjacency_cache_hits = 0
-_adjacency_cache_misses = 0
+_adjacency_cache_hits = 0  # guarded-by: _adjacency_cache_lock
+_adjacency_cache_misses = 0  # guarded-by: _adjacency_cache_lock
 
 
 def _adjacency_digest(adjacency: COOMatrix, add_self_loops: bool) -> str:

@@ -82,31 +82,31 @@ class ServingStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.started_at = time.monotonic()
-        self.requests = 0          # accepted into the queue
-        self.responses = 0         # futures resolved with a result
-        self.failures = 0          # futures resolved with an exception
-        self.timeouts = 0          # deadline expired before dispatch
-        self.cancelled = 0         # cancelled while queued
-        self.coalesced = 0         # duplicates served by a batch-mate's run
-        self.batches = 0           # micro-batches dispatched
-        self.bytes_in = 0          # request body bytes accepted
-        self.bytes_out = 0         # response body bytes served
-        self.scale_out_batches = 0  # batches scheduled whole-jobs-per-chip
-        self.degree_partition_runs = 0  # multichip runs on a degree plan
-        self.gnn_stacks = 0        # GNNModelSpec stacks served
-        self.gnn_layers = 0        # layers executed inside those stacks
+        self.requests = 0          # guarded-by: _lock — accepted into the queue
+        self.responses = 0         # guarded-by: _lock — futures resolved with a result
+        self.failures = 0          # guarded-by: _lock — futures resolved with an exception
+        self.timeouts = 0          # guarded-by: _lock — deadline expired before dispatch
+        self.cancelled = 0         # guarded-by: _lock — cancelled while queued
+        self.coalesced = 0         # guarded-by: _lock — duplicates served by a batch-mate's run
+        self.batches = 0           # guarded-by: _lock — micro-batches dispatched
+        self.bytes_in = 0          # guarded-by: _lock — request body bytes accepted
+        self.bytes_out = 0         # guarded-by: _lock — response body bytes served
+        self.scale_out_batches = 0  # guarded-by: _lock — batches scheduled whole-jobs-per-chip
+        self.degree_partition_runs = 0  # guarded-by: _lock — multichip runs on a degree plan
+        self.gnn_stacks = 0        # guarded-by: _lock — GNNModelSpec stacks served
+        self.gnn_layers = 0        # guarded-by: _lock — layers executed inside those stacks
         # Last served stack's shape and amortized per-layer cost — the
         # /stats signal that resident-graph reuse is working.
-        self._gnn_last_depth: int | None = None
-        self._gnn_cycles_per_layer: float | None = None
-        self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)
-        self._latencies: deque[float] = deque(maxlen=_RESERVOIR)
+        self._gnn_last_depth: int | None = None  # guarded-by: _lock
+        self._gnn_cycles_per_layer: float | None = None  # guarded-by: _lock
+        self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)  # guarded-by: _lock
+        self._latencies: deque[float] = deque(maxlen=_RESERVOIR)  # guarded-by: _lock
         # Last observed multichip load-balance telemetry (the autoscaler's
         # per-batch imbalance signal): shard skew, scale-out efficiency,
         # and the partition strategy the planner chose.
-        self._multichip_shard_skew: float | None = None
-        self._multichip_efficiency: float | None = None
-        self._multichip_partition: str | None = None
+        self._multichip_shard_skew: float | None = None  # guarded-by: _lock
+        self._multichip_efficiency: float | None = None  # guarded-by: _lock
+        self._multichip_partition: str | None = None  # guarded-by: _lock
 
     def add(self, counter: str, n: int = 1) -> None:
         with self._lock:

@@ -235,7 +235,7 @@ class ReproServer:
                                     max_delay_ms=max_delay_ms,
                                     coalesce=coalesce, stats=self.stats)
         self._server: asyncio.base_events.Server | None = None
-        self._datasets: OrderedDict = OrderedDict()
+        self._datasets: OrderedDict = OrderedDict()  # guarded-by: _dataset_lock
         self._dataset_lock = threading.Lock()
 
     # ------------------------------------------------------------------

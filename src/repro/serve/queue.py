@@ -106,11 +106,11 @@ class RequestQueue:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         self.max_depth = max_depth
-        self._items: deque[ServeRequest] = deque()
+        self._items: deque[ServeRequest] = deque()  # guarded-by: _condition
         self._condition = threading.Condition()
         self._ids = itertools.count()
-        self._closed = False
-        self.shed = 0  # requests rejected by backpressure, for /stats
+        self._closed = False  # guarded-by: _condition
+        self.shed = 0  # guarded-by: _condition — requests rejected by backpressure, for /stats
 
     # ------------------------------------------------------------------
     # Producer side

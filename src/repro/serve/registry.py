@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from dataclasses import replace as _replace
 from typing import Any
 
+from repro.analysis.structure import require_valid_csr
 from repro.core.runner import matrix_fingerprint
 from repro.core.specs import OperandRef, SpGEMMSpec, WorkloadSpec
 from repro.sparse.csr import CSRMatrix
@@ -127,12 +128,12 @@ class OperandRegistry:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[str, OperandEntry]" = OrderedDict()
+        self._entries: "OrderedDict[str, OperandEntry]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._bytes = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Store / fetch
@@ -148,6 +149,7 @@ class OperandRegistry:
         Raises:
             RegistryFull: the single operand is larger than ``max_bytes``.
         """
+        require_valid_csr(csr, context="registry-put")
         digest = matrix_fingerprint(csr)
         nbytes = csr.indptr.nbytes + csr.indices.nbytes + csr.data.nbytes
         with self._lock:
@@ -302,7 +304,7 @@ class OperandRegistry:
             }
 
     # ------------------------------------------------------------------
-    def _sweep(self, protect: str | None = None) -> None:
+    def _sweep(self, protect: str | None = None) -> None:  # lockcheck: holds _lock
         """Evict LRU unpinned entries until under the cap (lock held).
 
         ``protect`` shields the just-inserted digest: it is the MRU entry

@@ -46,6 +46,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.structure import require_valid_csr
 from repro.sparse.csr import CSRMatrix
 
 #: Content type negotiated on upload (``Content-Type``) and response
@@ -167,7 +168,8 @@ def decode_csr(body: bytes) -> tuple[CSRMatrix, dict[str, Any] | None]:
                          offset=offset).copy()
     try:
         matrix = CSRMatrix(indptr, indices, data, (n_rows, n_cols))
-    except ValueError as err:  # CSRMatrix.validate: structural invariants
+        require_valid_csr(matrix, context="wire-decode")
+    except ValueError as err:  # structural invariants (incl. StructureError)
         raise WireFormatError(f"frame payload is not a valid CSR: {err}") \
             from err
     return matrix, meta

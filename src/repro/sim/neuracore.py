@@ -12,7 +12,7 @@ NeuraMem) is the quantity the Figure 14 CPI histograms plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.compiler.program import MMHMacroOp

@@ -186,6 +186,21 @@ class CSRMatrix:
         if self.indices.size and (self.indices.min() < 0
                                   or self.indices.max() >= self.shape[1]):
             raise ValueError("column index out of bounds")
+        if self.indices.size > 1:
+            # Per-row canonical order: sorted, duplicate-free column
+            # indices.  One diff over the whole indices array with the
+            # positions that straddle a row boundary masked out.
+            diffs = np.diff(self.indices)
+            same_row = np.ones(self.indices.size - 1, dtype=bool)
+            boundaries = self.indptr[1:-1]
+            boundaries = boundaries[(boundaries > 0)
+                                    & (boundaries < self.indices.size)]
+            same_row[boundaries - 1] = False
+            if np.any(same_row & (diffs < 0)):
+                raise ValueError("column indices must be sorted within "
+                                 "each row")
+            if np.any(same_row & (diffs == 0)):
+                raise ValueError("duplicate column index within a row")
         self._validated = True
 
     def to_dense(self) -> np.ndarray:

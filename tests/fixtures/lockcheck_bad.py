@@ -1,0 +1,34 @@
+"""Known-bad lock discipline for the lockcheck fixture tests.
+
+Every defect class the lint reports appears exactly once:
+``guard-violation`` (an unguarded assignment *and* an unguarded mutating
+method call), ``bare-acquire`` and ``unjoined-thread``.
+"""
+
+import threading
+
+
+class BadCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def record(self, key, value):
+        self._entries[key] = value  # mutation without the lock
+        self.hits += 1  # and an unguarded augmented assignment
+
+    def sweep(self):
+        self._entries.clear()  # unguarded mutating method call
+
+    def risky(self):
+        self._lock.acquire()  # no with, no try/finally
+        count = self.hits
+        self._lock.release()
+        return count
+
+
+def spawn_forever():
+    worker = threading.Thread(target=spawn_forever)
+    worker.start()
+    return worker

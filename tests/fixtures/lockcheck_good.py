@@ -1,0 +1,43 @@
+"""Known-good lock discipline for the lockcheck fixture tests."""
+
+import threading
+
+
+class GoodCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self._worker = None
+
+    def record(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self.hits += 1
+
+    def sweep_locked(self):  # lockcheck: holds _lock
+        self._entries.clear()
+
+    def sweep(self):
+        with self._lock:
+            self.sweep_locked()
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries), self.hits
+
+    def start(self):
+        self._worker = threading.Thread(target=self.sweep, daemon=True)
+        self._worker.start()
+
+    def stop(self):
+        if self._worker is not None:
+            self._worker.join()
+
+
+def explicit_acquire(lock):
+    lock.acquire()
+    try:
+        return True
+    finally:
+        lock.release()

@@ -1,0 +1,107 @@
+"""Tests for the concurrency lint (pass 3): annotation-driven guard
+checking over the known-good / known-bad fixture files, plus the
+repository-wide clean baseline."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lockcheck import lint_file, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def checks_by_line(findings):
+    return {(finding.check, int(finding.location.rsplit(":", 1)[1]))
+            for finding in findings}
+
+
+class TestGoodFixture:
+    def test_clean(self):
+        assert lint_file(FIXTURES / "lockcheck_good.py") == []
+
+
+class TestBadFixture:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_file(FIXTURES / "lockcheck_bad.py")
+
+    def test_every_defect_class_fires(self, findings):
+        assert {finding.check for finding in findings} == {
+            "guard-violation", "bare-acquire", "unjoined-thread"}
+
+    def test_unguarded_assignment_and_mutation(self, findings):
+        guard_lines = {line for check, line in checks_by_line(findings)
+                       if check == "guard-violation"}
+        # record(): subscript write + augmented assign; sweep(): .clear()
+        assert guard_lines == {18, 19, 22}
+
+    def test_bare_acquire_location(self, findings):
+        assert ("bare-acquire", 25) in checks_by_line(findings)
+
+    def test_unjoined_thread(self, findings):
+        assert any(finding.check == "unjoined-thread"
+                   for finding in findings)
+
+    def test_locations_name_the_file(self, findings):
+        assert all("lockcheck_bad.py" in finding.location
+                   for finding in findings)
+
+
+class TestEscapeHatches:
+    def test_ignore_comment_suppresses(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # guarded-by: _lock\n"
+            "    def f(self):\n"
+            "        self.n += 1  # lockcheck: ignore\n")
+        path = tmp_path / "ignored.py"
+        path.write_text(source)
+        assert lint_file(path) == []
+
+    def test_holds_annotation_counts_as_held(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # guarded-by: _lock\n"
+            "    def f(self):  # lockcheck: holds _lock\n"
+            "        self.n += 1\n")
+        path = tmp_path / "holds.py"
+        path.write_text(source)
+        assert lint_file(path) == []
+
+    def test_nested_function_does_not_inherit_with(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # guarded-by: _lock\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self.n += 1\n"
+            "            return later\n")
+        path = tmp_path / "nested.py"
+        path.write_text(source)
+        assert [finding.check for finding in lint_file(path)] \
+            == ["guard-violation"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        findings = lint_file(path)
+        assert [finding.check for finding in findings] == ["unparseable"]
+
+
+class TestRepositoryBaseline:
+    def test_src_repro_is_clean(self):
+        package_root = Path(repro.__file__).parent
+        findings = lint_paths([package_root])
+        assert findings == [], "\n".join(f.format() for f in findings)

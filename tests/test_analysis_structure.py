@@ -1,0 +1,155 @@
+"""Tests for the structural checker (pass 2) and its trust-boundary
+wiring: strict CSRMatrix validation, wire decode, registry put, and
+shard-stitch outputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import StructureError
+from repro.analysis.structure import check_csr, require_valid_csr
+from repro.datasets.suite import load_dataset
+from repro.serve.wire import WireFormatError, decode_csr, encode_csr
+from repro.sparse.csr import CSRMatrix
+
+
+class FakeCSR:
+    """Duck-typed CSR carrier that skips CSRMatrix's own validation, so
+    the checker can be pointed at deliberately broken structure."""
+
+    def __init__(self, indptr, indices, data, shape):
+        self.indptr = np.asarray(indptr)
+        self.indices = np.asarray(indices)
+        self.data = np.asarray(data)
+        self.shape = shape
+
+
+def valid():
+    return FakeCSR(np.array([0, 2, 3], dtype=np.int64),
+                   np.array([0, 2, 1], dtype=np.int64),
+                   np.array([1.0, 2.0, 3.0]), (2, 3))
+
+
+def checks(matrix):
+    return {finding.check for finding in check_csr(matrix, "test")}
+
+
+class TestCheckCsr:
+    def test_canonical_matrix_is_clean(self):
+        assert check_csr(valid(), "test") == []
+
+    def test_real_dataset_matrices_are_clean(self):
+        dataset = load_dataset("facebook", max_nodes=64, seed=0)
+        assert check_csr(dataset.adjacency_csr(), "adjacency") == []
+        assert check_csr(dataset.features(seed=3), "features") == []
+
+    def test_indptr_length(self):
+        bad = valid()
+        bad.indptr = bad.indptr[:-1]
+        assert checks(bad) == {"shape-agreement"}
+
+    def test_indptr_span(self):
+        bad = valid()
+        bad.indptr = np.array([0, 2, 5], dtype=np.int64)
+        assert checks(bad) == {"indptr-monotone"}
+
+    def test_indptr_decreasing(self):
+        bad = FakeCSR(np.array([0, 2, 1, 3], dtype=np.int64),
+                      np.array([0, 2, 1], dtype=np.int64),
+                      np.array([1.0, 2.0, 3.0]), (3, 3))
+        assert checks(bad) == {"indptr-monotone"}
+
+    def test_column_out_of_range(self):
+        bad = valid()
+        bad.indices = np.array([0, 3, 1], dtype=np.int64)
+        assert checks(bad) == {"column-bounds"}
+
+    def test_unsorted_within_row(self):
+        bad = valid()
+        bad.indices = np.array([2, 0, 1], dtype=np.int64)
+        assert checks(bad) == {"sorted-indices"}
+
+    def test_duplicate_within_row(self):
+        bad = valid()
+        bad.indices = np.array([0, 0, 1], dtype=np.int64)
+        assert checks(bad) == {"duplicate-indices"}
+
+    def test_row_boundary_descent_is_legal(self):
+        # indices 2 -> 1 across the row boundary is fine.
+        assert check_csr(valid(), "test") == []
+
+    def test_dtype_mismatch(self):
+        bad = valid()
+        bad.indices = bad.indices.astype(np.int32)
+        assert "dtype-agreement" in checks(bad)
+
+    def test_require_valid_csr_raises(self):
+        bad = valid()
+        bad.indices = np.array([0, 0, 1], dtype=np.int64)
+        with pytest.raises(StructureError) as excinfo:
+            require_valid_csr(bad, context="unit")
+        assert excinfo.value.findings[0].check == "duplicate-indices"
+        assert excinfo.value.findings[0].location == "unit"
+
+
+class TestStrictCSRMatrixValidate:
+    def test_unsorted_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CSRMatrix(np.array([0, 2]), np.array([2, 0]),
+                      np.array([1.0, 2.0]), (1, 3))
+
+    def test_duplicates_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CSRMatrix(np.array([0, 2]), np.array([1, 1]),
+                      np.array([1.0, 2.0]), (1, 3))
+
+    def test_sorted_rows_accepted(self):
+        matrix = CSRMatrix(np.array([0, 2, 3]), np.array([0, 2, 1]),
+                           np.array([1.0, 2.0, 3.0]), (2, 3))
+        assert matrix.nnz == 3
+
+
+class TestWireTrustBoundary:
+    def test_roundtrip_clean(self):
+        dataset = load_dataset("facebook", max_nodes=48, seed=2)
+        features = dataset.features(seed=5)
+        decoded, meta = decode_csr(encode_csr(features))
+        assert meta is None
+        assert check_csr(decoded, "wire") == []
+
+    def test_tampered_frame_rejected(self):
+        matrix = CSRMatrix(np.array([0, 2]), np.array([0, 2]),
+                           np.array([1.0, 2.0]), (1, 3))
+        frame = bytearray(encode_csr(matrix))
+        # Overwrite the indices segment with a duplicate pair: the frame
+        # still parses (lengths agree) but the payload is non-canonical.
+        indices_offset = 36 + 2 * 8
+        frame[indices_offset:indices_offset + 16] = \
+            np.array([1, 1], dtype="<i8").tobytes()
+        with pytest.raises(WireFormatError, match="not a valid CSR"):
+            decode_csr(bytes(frame))
+
+
+class TestRegistryTrustBoundary:
+    def test_put_requires_canonical_csr(self):
+        from repro.serve.registry import OperandRegistry
+
+        registry = OperandRegistry(max_bytes=1 << 20)
+        dataset = load_dataset("facebook", max_nodes=48, seed=2)
+        entry, created = registry.put(dataset.adjacency_csr())
+        assert created
+        bad = FakeCSR(np.array([0, 2], dtype=np.int64),
+                      np.array([1, 1], dtype=np.int64),
+                      np.array([1.0, 2.0]), (1, 3))
+        with pytest.raises(StructureError):
+            registry.put(bad)
+
+
+class TestStitchTrustBoundary:
+    def test_multichip_output_is_canonical(self):
+        from repro.core.session import Session
+        from repro.core.specs import SpGEMMSpec
+
+        dataset = load_dataset("wiki-Vote", max_nodes=96, seed=0)
+        with Session("Tile-4", backend="multichip", chips=2) as session:
+            result = session.run(SpGEMMSpec(a=dataset.adjacency_csr()))
+        assert check_csr(result.output, "stitch") == []

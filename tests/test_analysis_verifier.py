@@ -1,0 +1,161 @@
+"""Fault-injection tests for the static IR verifier (pass 1).
+
+Each test mutates one :class:`ProgramArrays` field class — operand
+offsets, ordering keys, rolling counters, slot/counter addresses — and
+asserts the verifier reports the *precise* invariant that broke, not
+just "something is wrong".
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import VerificationError
+from repro.analysis.verifier import (
+    OFFSET_LIMIT,
+    assert_program_valid,
+    require_offset,
+    verify_program,
+)
+from repro.compiler.lowering import compile_spgemm, compile_spgemm_loop
+from repro.compiler.program import Program
+from repro.datasets.suite import load_dataset
+
+
+@pytest.fixture(scope="module")
+def program():
+    dataset = load_dataset("wiki-Vote", max_nodes=96, seed=0)
+    return compile_spgemm(dataset.adjacency_csc(),
+                          dataset.features(seed=7),
+                          tile_size=4, source="verifier-test")
+
+
+def mutate(program, **overrides):
+    arrays = dataclasses.replace(program.arrays, **overrides)
+    return Program(arrays=arrays, address_map=program.address_map,
+                   shape=program.shape, tile_size=program.tile_size,
+                   a_nnz=program.a_nnz, b_nnz=program.b_nnz,
+                   total_partial_products=program.total_partial_products,
+                   source=program.source)
+
+
+def fired(program, level="full"):
+    return {finding.check for finding in verify_program(program, level=level)}
+
+
+class TestCleanPrograms:
+    def test_compiled_program_verifies_clean(self, program):
+        assert verify_program(program, level="full") == []
+        assert verify_program(program, level="quick") == []
+
+    def test_assert_program_valid_returns_program(self, program):
+        assert assert_program_valid(program) is program
+
+    def test_legacy_loop_program_verifies_clean(self):
+        dataset = load_dataset("facebook", max_nodes=64, seed=1)
+        legacy = compile_spgemm_loop(dataset.adjacency_csc(),
+                                     dataset.features(seed=3), tile_size=2)
+        assert verify_program(legacy) == []
+
+    def test_unknown_level_rejected(self, program):
+        with pytest.raises(ValueError, match="verify level"):
+            verify_program(program, level="paranoid")
+
+
+class TestOffsetFaults:
+    def test_shifted_operand_address(self, program):
+        bad = program.arrays.op_a_addr.copy()
+        bad[3] += 4
+        assert fired(mutate(program, op_a_addr=bad)) == {"operand-offsets"}
+
+    def test_22bit_overflow(self, program):
+        bad = program.arrays.op_b_data_addr.copy()
+        bad[0] = OFFSET_LIMIT + 1
+        assert fired(mutate(program, op_b_data_addr=bad)) \
+            == {"offset-field-width"}
+
+    def test_require_offset_limits(self):
+        assert require_offset(OFFSET_LIMIT) == OFFSET_LIMIT
+        with pytest.raises(ValueError, match="22-bit"):
+            require_offset(OFFSET_LIMIT + 1, "a_data")
+
+
+class TestOrderingFaults:
+    def test_row_group_order_violation(self, program):
+        groups = program.arrays.op_group.copy()
+        groups[0], groups[-1] = groups[-1], groups[0]
+        assert "row-group-order" in fired(mutate(program, op_group=groups))
+
+    def test_reseed_flag_off_boundary(self, program):
+        reseed = program.arrays.op_reseed.copy()
+        reseed[0] = not reseed[0]
+        assert fired(mutate(program, op_reseed=reseed)) \
+            == {"reseed-boundaries"}
+
+
+class TestCounterFaults:
+    def test_tampered_rolling_counter_quick(self, program):
+        counts = program.arrays.out_counts.copy()
+        counts[0] += 1
+        assert fired(mutate(program, out_counts=counts), level="quick") \
+            == {"counter-histogram"}
+
+    def test_swapped_counters_need_full_level(self, program):
+        # Moving a contribution between slots keeps the total invariant;
+        # only the full partial-product scatter catches it.
+        counts = program.arrays.out_counts.copy()
+        assert counts.size >= 2
+        counts[0] += 1
+        counts[1] -= 1
+        if counts[1] < 1:
+            pytest.skip("needs a slot with >= 2 contributions")
+        bad = mutate(program, out_counts=counts)
+        assert fired(bad, level="quick") == set()
+        assert fired(bad, level="full") == {"counter-histogram"}
+
+
+class TestAddressExclusivityFaults:
+    def test_rotated_slot(self, program):
+        slots = program.arrays.op_slot.copy()
+        slots[0] = (slots[0] + 1) % program.arrays.output_nnz
+        assert fired(mutate(program, op_slot=slots)) \
+            == {"address-exclusivity"}
+
+    def test_shifted_counter_address(self, program):
+        addrs = program.arrays.op_counter_addr.copy()
+        addrs[0] += 4
+        assert fired(mutate(program, op_counter_addr=addrs)) \
+            == {"address-exclusivity"}
+
+
+class TestStructuralFaults:
+    def test_truncated_column(self, program):
+        assert fired(mutate(program, op_k=program.arrays.op_k[:-1])) \
+            == {"column-alignment"}
+
+    def test_wrong_dtype_column(self, program):
+        wide = program.arrays.op_slot.astype(np.int64)
+        assert fired(mutate(program, op_slot=wide)) == {"column-dtype"}
+
+    def test_empty_slice(self, program):
+        his = program.arrays.op_a_hi.copy()
+        his[0] = program.arrays.op_a_lo[0]
+        assert fired(mutate(program, op_a_hi=his)) == {"operand-slices"}
+
+    def test_unsorted_output_keys(self, program):
+        indices = program.arrays.out_indices.copy()
+        indices[0], indices[1] = indices[1], indices[0]
+        assert fired(mutate(program, out_indices=indices)) \
+            == {"output-structure"}
+
+
+class TestErrorSurface:
+    def test_assert_program_valid_raises_with_findings(self, program):
+        counts = program.arrays.out_counts.copy()
+        counts[0] += 1
+        with pytest.raises(VerificationError) as excinfo:
+            assert_program_valid(mutate(program, out_counts=counts))
+        assert excinfo.value.findings
+        assert excinfo.value.findings[0].pass_name == "ir"
+        assert excinfo.value.findings[0].check == "counter-histogram"

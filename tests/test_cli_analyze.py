@@ -1,0 +1,41 @@
+"""End-to-end tests for the ``repro analyze`` CLI command."""
+
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestAnalyzeCommand:
+    def test_all_passes_clean_on_repo(self, capsys):
+        assert main(["analyze", "--max-nodes", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "ir/structure/locks" in out
+
+    def test_single_pass_selection(self, capsys):
+        assert main(["analyze", "--pass", "locks"]) == 0
+        out = capsys.readouterr().out
+        assert "locks pass(es)" in out
+        assert "ir/" not in out
+
+    def test_nonzero_exit_on_bad_fixture(self, capsys):
+        exit_code = main(["analyze", "--pass", "locks",
+                          str(FIXTURES / "lockcheck_bad.py")])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "[locks:guard-violation]" in out
+        assert "[locks:bare-acquire]" in out
+        assert "[locks:unjoined-thread]" in out
+
+    def test_zero_exit_on_good_fixture(self, capsys):
+        assert main(["analyze", "--pass", "locks",
+                     str(FIXTURES / "lockcheck_good.py")]) == 0
+
+    def test_ir_pass_runs_standalone(self, capsys):
+        assert main(["analyze", "--pass", "ir", "--max-nodes", "64"]) == 0
+
+    def test_structure_pass_runs_standalone(self, capsys):
+        assert main(["analyze", "--pass", "structure",
+                     "--max-nodes", "64"]) == 0

@@ -1,0 +1,146 @@
+"""Tests for ``Session(verify=...)`` and the disk-cache verify path:
+memoized once-per-digest verification, byte-identical results, and the
+drop-and-recompile handling of ill-formed disk cache entries."""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import VerificationError
+from repro.compiler.lowering import compile_spgemm
+from repro.compiler.program import Program
+from repro.core.runner import CACHE_SCHEMA_VERSION, ProgramCache
+from repro.core.session import Session
+from repro.core.specs import GCNLayerSpec, SpGEMMSpec
+from repro.datasets.suite import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("wiki-Vote", max_nodes=96, seed=0)
+
+
+class TestVerifyMode:
+    def test_default_is_off(self, dataset):
+        with Session("Tile-4", backend="analytic") as session:
+            session.run(SpGEMMSpec(a=dataset.adjacency_csr()))
+            assert session.verify_stats() == {
+                "verify_mode": None, "verify_runs": 0, "verify_skips": 0}
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="verify mode"):
+            Session("Tile-4", backend="analytic", verify="sometimes")
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_verifies_once_per_digest(self, dataset, mode):
+        a_csr = dataset.adjacency_csr()
+        with Session("Tile-4", backend="analytic", verify=mode) as session:
+            session.run(SpGEMMSpec(a=a_csr))
+            session.run(SpGEMMSpec(a=a_csr))
+            session.run(SpGEMMSpec(a=a_csr))
+            stats = session.verify_stats()
+        assert stats["verify_mode"] == mode
+        assert stats["verify_runs"] == 1
+        assert stats["verify_skips"] == 2
+
+    def test_distinct_programs_each_verified(self, dataset):
+        a_csr = dataset.adjacency_csr()
+        other = load_dataset("facebook", max_nodes=64, seed=1)
+        with Session("Tile-4", backend="analytic",
+                     verify="full") as session:
+            session.run(SpGEMMSpec(a=a_csr))
+            session.run(SpGEMMSpec(a=other.adjacency_csr()))
+            assert session.verify_stats()["verify_runs"] == 2
+
+    def test_gcn_layer_path_verified(self, dataset):
+        with Session("Tile-4", backend="analytic",
+                     verify="full") as session:
+            session.run(GCNLayerSpec(dataset=dataset.adjacency,
+                                     feature_dim=8, hidden_dim=4))
+            session.run(GCNLayerSpec(dataset=dataset.adjacency,
+                                     feature_dim=8, hidden_dim=4))
+            stats = session.verify_stats()
+        assert stats["verify_runs"] == 1
+        assert stats["verify_skips"] == 1
+
+    def test_results_byte_identical_with_verification(self, dataset):
+        spec = SpGEMMSpec(a=dataset.adjacency_csr())
+        with Session("Tile-4", backend="analytic") as plain:
+            baseline = plain.run(spec)
+        with Session("Tile-4", backend="analytic",
+                     verify="full") as verified:
+            checked = verified.run(spec)
+        assert np.array_equal(baseline.output.indptr, checked.output.indptr)
+        assert np.array_equal(baseline.output.indices,
+                              checked.output.indices)
+        assert np.array_equal(baseline.output.data, checked.output.data)
+
+    def test_subprocess_state_ships_verify_mode(self, dataset):
+        with Session("Tile-4", backend="analytic",
+                     verify="quick") as session:
+            assert session._subprocess_state()["verify"] == "quick"
+
+    def test_broken_program_raises_verification_error(self, dataset):
+        a_csr = dataset.adjacency_csr()
+        with Session("Tile-4", backend="analytic",
+                     verify="full") as session:
+            key = session.cache.key(a_csr, None, 4)
+            program = session.chip.compile(a_csr, None, tile_size=4)
+            counts = program.arrays.out_counts.copy()
+            counts[0] += 1
+            broken = Program(
+                arrays=dataclasses.replace(program.arrays,
+                                           out_counts=counts),
+                address_map=program.address_map, shape=program.shape,
+                tile_size=program.tile_size, a_nnz=program.a_nnz,
+                b_nnz=program.b_nnz,
+                total_partial_products=program.total_partial_products,
+                source=program.source)
+            session.cache.put(key, broken)
+            with pytest.raises(VerificationError):
+                session.run(SpGEMMSpec(a=a_csr, tile_size=4))
+            # The key was un-reserved, so a repaired entry re-verifies.
+            session.cache.put(key, program)
+            session.run(SpGEMMSpec(a=a_csr, tile_size=4))
+            assert session.verify_stats()["verify_runs"] == 1
+
+
+class TestDiskCacheVerification:
+    def make_program(self, dataset):
+        return compile_spgemm(dataset.adjacency_csc(),
+                              dataset.features(seed=7), tile_size=4,
+                              source="disk-verify-test")
+
+    def test_clean_disk_entry_loads(self, dataset, tmp_path):
+        writer = ProgramCache(4, cache_dir=tmp_path)
+        program = self.make_program(dataset)
+        key = ("unit", "spgemm", "a", "b", 4)
+        writer.put(key, program)
+        reader = ProgramCache(4, cache_dir=tmp_path)
+        assert reader.get(key) is not None
+        assert reader.verify_failed == 0
+
+    def test_illformed_disk_entry_dropped_and_counted(self, dataset,
+                                                      tmp_path):
+        cache = ProgramCache(4, cache_dir=tmp_path)
+        program = self.make_program(dataset)
+        counts = program.arrays.out_counts.copy()
+        counts[0] += 1
+        broken = Program(
+            arrays=dataclasses.replace(program.arrays, out_counts=counts),
+            address_map=program.address_map, shape=program.shape,
+            tile_size=program.tile_size, a_nnz=program.a_nnz,
+            b_nnz=program.b_nnz,
+            total_partial_products=program.total_partial_products,
+            source=program.source)
+        key = ("unit", "spgemm", "a", "b", 4)
+        path = cache._disk_path(key)
+        with path.open("wb") as handle:
+            pickle.dump((CACHE_SCHEMA_VERSION, key, broken), handle)
+        assert cache.get(key) is None  # dropped, recorded as a miss
+        assert not path.exists()  # entry unlinked like any corrupt pickle
+        assert cache.verify_failed == 1
+        assert cache.misses == 1
+        assert cache.stats()["verify_failed"] == 1
