@@ -1,0 +1,360 @@
+"""Scheduler benchmark: latency-tenant p95 under a saturating bulk tenant.
+
+Boots the full serving stack twice — once with the legacy single-lane
+``fifo`` queue, once with the multi-tenant ``fair`` scheduler (EDF
+within tenants, weighted fair queueing across them) — and drives both
+with the same mixed workload:
+
+* a **bulk** tenant (weight 1, no deadlines) saturating the server from
+  several closed-loop worker threads, cycling a pool of distinct graphs
+  so its requests do not all coalesce away;
+* a **latency** tenant (weight 4, per-request deadlines) sending paced,
+  sequential requests — the interactive client whose p95 the scheduler
+  exists to protect.
+
+Under FIFO every latency request waits behind the entire standing bulk
+backlog; under EDF+WFQ it jumps to the head of its lane and the lane's
+weight wins the cross-tenant tie.  The figure of merit is the
+latency-tenant's server-side p95 ratio (fifo / fair) at equal bulk
+throughput (+/- 10%), each mode's p95 taken as the median of
+``--repeats`` interleaved runs — the acceptance bar is >= 3x in the
+full configuration.  An admission probe also exercises the 429 path: a
+rate-limited tenant must be refused with a computed Retry-After rather
+than enqueued behind the backlog.
+
+Results land in ``benchmarks/results/bench_scheduler.json`` (the same
+record-don't-assert contract the other benches keep).  ``--smoke``
+asserts a relaxed >= 1.5x guard for CI and saves nothing; with only a
+dozen latency samples per mode the p95 is effectively the max sample,
+so the smoke run retries once before failing to absorb timing noise.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_scheduler.py
+           PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+from repro.core import Session
+from repro.serve import (
+    BackgroundServer,
+    ReproServer,
+    TenantConfig,
+    TenantTable,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_scheduler.json"
+
+#: Distinct bulk graphs (seeds) cycled by the bulk workers: enough that
+#: concurrent in-flight bulk requests rarely coalesce, small enough that
+#: the server's dataset cache holds them all after warm-up.
+BULK_SEED_POOL = 12
+
+#: The latency tenant's dedicated graph seed (warmed up separately).
+LATENCY_SEED = 999
+
+#: CI smoke guard: minimum latency-tenant p95 improvement (fifo/fair).
+#: Relaxed well below the full-run >= 3x target because the smoke
+#: configuration's p95 rides on ~12 samples (one straggler batch moves
+#: it); the smoke run also retries once before failing.
+SMOKE_MIN_IMPROVEMENT = 1.5
+
+
+def _post(connection: http.client.HTTPConnection, payload: dict,
+          tenant: str) -> tuple[int, dict]:
+    connection.request("POST", "/v1/spgemm", body=json.dumps(payload),
+                       headers={"Content-Type": "application/json",
+                                "X-Repro-Tenant": tenant})
+    response = connection.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def _get(port: int, path: str) -> dict:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def make_tenants() -> TenantTable:
+    return TenantTable([
+        TenantConfig(name="latency", weight=4.0),
+        TenantConfig(name="bulk", weight=1.0),
+        TenantConfig(name="limited", weight=1.0, rate_rps=0.5, burst=1.0),
+    ])
+
+
+def bench_mode(session: Session, scheduling: str, *, dataset: str,
+               nodes: int, n_bulk: int, bulk_workers: int,
+               n_latency: int, latency_pace_s: float,
+               max_batch: int) -> dict:
+    """One scheduling mode: fresh server, same mixed workload."""
+    server = ReproServer(session, port=0, max_batch=max_batch,
+                         max_delay_ms=2.0, queue_depth=512,
+                         tenants=make_tenants(), scheduling=scheduling)
+    with BackgroundServer(server) as background:
+        port = background.port
+
+        def payload(seed: int, label: str, **extra) -> dict:
+            return {"dataset": dataset, "max_nodes": nodes, "seed": seed,
+                    "verify": False, "label": label, **extra}
+
+        # Untimed warm-up: synthesize every graph in the pool and compile
+        # the program once, so the timed window measures scheduling, not
+        # cold caches.
+        warm = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        for seed in range(BULK_SEED_POOL):
+            _post(warm, payload(seed, f"warm-{seed}"), "bulk")
+        _post(warm, payload(LATENCY_SEED, "warm-lat"), "latency")
+        warm.close()
+
+        errors: list = []
+
+        def bulk_client(worker: int) -> None:
+            connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                    timeout=120)
+            try:
+                for index in range(worker, n_bulk, bulk_workers):
+                    status, _ = _post(
+                        connection,
+                        payload(index % BULK_SEED_POOL,
+                                f"bulk-{index}"), "bulk")
+                    if status != 200:
+                        errors.append(("bulk", status))
+            finally:
+                connection.close()
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=bulk_client, args=(worker,))
+                   for worker in range(bulk_workers)]
+        for thread in threads:
+            thread.start()
+        latency_connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                        timeout=120)
+        try:
+            for index in range(n_latency):
+                status, _ = _post(
+                    latency_connection,
+                    payload(LATENCY_SEED, f"lat-{index}", timeout_s=30.0),
+                    "latency")
+                if status != 200:
+                    errors.append(("latency", status))
+                time.sleep(latency_pace_s)
+        finally:
+            latency_connection.close()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+
+        tenants = _get(port, "/v1/tenants")["tenants"]
+        latency_row = tenants["latency"]["serving"]
+        bulk_row = tenants["bulk"]["serving"]
+
+        # Admission probe: the rate-limited tenant must get a computed
+        # 429, not a queue slot (0.5 req/s, burst 1: the second request
+        # inside the window is always refused).
+        probe = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        _post(probe, payload(0, "probe-0"), "limited")
+        probe_status, probe_body = _post(probe, payload(0, "probe-1"),
+                                         "limited")
+        probe.close()
+
+    if errors:
+        raise RuntimeError(f"serving errors in {scheduling} run: "
+                           f"{errors[:5]} ({len(errors)} total)")
+    return {
+        "scheduling": scheduling,
+        "wall_s": round(wall, 4),
+        "bulk_requests": n_bulk,
+        "bulk_throughput_rps": round(n_bulk / wall, 2),
+        "bulk_responses": bulk_row["responses"],
+        "latency_requests": n_latency,
+        "latency_p50_ms": latency_row["latency_p50_ms"],
+        "latency_p95_ms": latency_row["latency_p95_ms"],
+        "latency_deadline_misses": latency_row["deadline_misses"],
+        "admission_probe": {
+            "status": probe_status,
+            "retry_after_s": probe_body.get("retry_after_s"),
+            "ok": (probe_status == 429
+                   and (probe_body.get("retry_after_s") or 0) > 0),
+        },
+    }
+
+
+def _median_by_p95(runs: list[dict]) -> dict:
+    """The run whose latency p95 is the per-mode median — the noise
+    shield for single-core containers where client threads contend with
+    the server loop and any one run's p95 can double on a bad draw."""
+    ordered = sorted(runs, key=lambda mode: mode["latency_p95_ms"])
+    return ordered[len(ordered) // 2]
+
+
+def run(*, dataset: str, nodes: int, n_bulk: int, bulk_workers: int,
+        n_latency: int, latency_pace_s: float, max_batch: int,
+        config: str, repeats: int = 1) -> dict:
+    record = {
+        "dataset": dataset,
+        "nodes": nodes,
+        "config": config,
+        "bulk_requests": n_bulk,
+        "bulk_workers": bulk_workers,
+        "latency_requests": n_latency,
+        "latency_pace_s": latency_pace_s,
+        "max_batch": max_batch,
+        "repeats": repeats,
+        "python_version": platform.python_version(),
+        "workload": "saturating bulk tenant (weight 1) vs paced latency "
+                    "tenant (weight 4, deadlines); FIFO baseline vs "
+                    "EDF+WFQ fair scheduling; per-mode median of "
+                    f"{repeats} interleaved run(s)",
+        "modes": [],
+    }
+    runs: dict[str, list[dict]] = {"fifo": [], "fair": []}
+    with Session(config, backend="analytic") as session:
+        # Interleave the modes across repeats so slow-machine drift
+        # (cache growth, CPU throttling) hits both modes evenly.
+        for _ in range(max(1, repeats)):
+            for scheduling in ("fifo", "fair"):
+                runs[scheduling].append(bench_mode(
+                    session, scheduling, dataset=dataset, nodes=nodes,
+                    n_bulk=n_bulk, bulk_workers=bulk_workers,
+                    n_latency=n_latency, latency_pace_s=latency_pace_s,
+                    max_batch=max_batch))
+    record["modes"] = [_median_by_p95(runs["fifo"]),
+                       _median_by_p95(runs["fair"])]
+    record["p95_ms_runs"] = {
+        scheduling: [mode["latency_p95_ms"] for mode in mode_runs]
+        for scheduling, mode_runs in runs.items()}
+    fifo, fair = record["modes"]
+    if fair["latency_p95_ms"] > 0:
+        record["p95_improvement"] = round(
+            fifo["latency_p95_ms"] / fair["latency_p95_ms"], 2)
+    else:
+        record["p95_improvement"] = None
+    if fifo["bulk_throughput_rps"] > 0:
+        record["bulk_throughput_ratio"] = round(
+            fair["bulk_throughput_rps"] / fifo["bulk_throughput_rps"], 3)
+    else:
+        record["bulk_throughput_ratio"] = None
+    record["meets_target"] = (
+        record["p95_improvement"] is not None
+        and record["p95_improvement"] >= 3.0
+        and record["bulk_throughput_ratio"] is not None
+        and abs(record["bulk_throughput_ratio"] - 1.0) <= 0.10)
+    return record
+
+
+def report(record: dict) -> None:
+    print(f"{record['dataset']}  nodes={record['nodes']}  "
+          f"config={record['config']}  bulk={record['bulk_requests']}req/"
+          f"{record['bulk_workers']}w  latency="
+          f"{record['latency_requests']}req")
+    for mode in record["modes"]:
+        probe = mode["admission_probe"]
+        print(f"{mode['scheduling']:>5}: latency p50="
+              f"{mode['latency_p50_ms']:8.2f}ms  "
+              f"p95={mode['latency_p95_ms']:8.2f}ms  "
+              f"misses={mode['latency_deadline_misses']}  "
+              f"bulk={mode['bulk_throughput_rps']:7.1f} req/s  "
+              f"429-probe={'ok' if probe['ok'] else 'FAIL'}"
+              f" (retry_after_s={probe['retry_after_s']})")
+    if record.get("repeats", 1) > 1:
+        spread = {scheduling: [round(p95, 1) for p95 in p95s]
+                  for scheduling, p95s in record["p95_ms_runs"].items()}
+        print(f"p95 spread across {record['repeats']} runs (ms): {spread}")
+    print(f"p95 improvement (fifo/fair): {record['p95_improvement']}x  "
+          f"bulk throughput ratio (fair/fifo): "
+          f"{record['bulk_throughput_ratio']}  "
+          f"meets >=3x target: {record['meets_target']}")
+
+
+def failed_probes(record: dict) -> list[str]:
+    return [mode["scheduling"] for mode in record["modes"]
+            if not mode["admission_probe"]["ok"]]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=800,
+                        help="graph size per request (default: 800)")
+    parser.add_argument("--dataset", default="wiki-Vote")
+    parser.add_argument("--config", default="Tile-16")
+    parser.add_argument("--bulk-requests", type=int, default=600)
+    parser.add_argument("--bulk-workers", type=int, default=32,
+                        help="concurrent bulk connections — the standing "
+                             "backlog depth FIFO makes the latency tenant "
+                             "wait behind (default: 32)")
+    parser.add_argument("--latency-requests", type=int, default=16)
+    parser.add_argument("--latency-pace-ms", type=float, default=10.0,
+                        help="gap between latency-tenant requests")
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved runs per mode; the recorded "
+                             "figure is the per-mode median p95 "
+                             "(default: 3; --smoke forces 1)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI (asserts a "
+                             "relaxed >= 1.5x p95 guard with one retry, "
+                             "saves nothing)")
+    parser.add_argument("--output", default=str(RESULTS_PATH))
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.nodes = 500
+        args.bulk_requests = 400
+        args.bulk_workers = 24
+        args.latency_requests = 12
+        args.latency_pace_ms = 10.0
+        args.repeats = 1
+
+    kwargs = dict(dataset=args.dataset, nodes=args.nodes,
+                  n_bulk=args.bulk_requests, bulk_workers=args.bulk_workers,
+                  n_latency=args.latency_requests,
+                  latency_pace_s=args.latency_pace_ms / 1e3,
+                  max_batch=args.max_batch, config=args.config,
+                  repeats=max(1, args.repeats))
+    record = run(**kwargs)
+    report(record)
+
+    if args.smoke:
+        improvement = record["p95_improvement"] or 0.0
+        if (improvement < SMOKE_MIN_IMPROVEMENT
+                and not failed_probes(record)):
+            print(f"[smoke: {improvement}x below the "
+                  f"{SMOKE_MIN_IMPROVEMENT}x guard — retrying once "
+                  f"(p95 over ~{record['latency_requests']} samples is "
+                  f"noisy)]")
+            record = run(**kwargs)
+            report(record)
+            improvement = record["p95_improvement"] or 0.0
+
+    bad_modes = failed_probes(record)
+    if bad_modes:
+        print(f"ERROR: admission probe failed in mode(s): {bad_modes}")
+        return 1
+    if args.smoke:
+        improvement = record["p95_improvement"] or 0.0
+        if improvement < SMOKE_MIN_IMPROVEMENT:
+            print(f"ERROR: smoke guard wants >= {SMOKE_MIN_IMPROVEMENT}x "
+                  f"p95 improvement, got {improvement}x")
+            return 1
+        print("[smoke mode: results not saved]")
+        return 0
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[saved {output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

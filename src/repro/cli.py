@@ -333,8 +333,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Serve SpGEMM / GCN requests over HTTP with micro-batching."""
     import asyncio
 
-    from repro.serve import ReproServer
+    from repro.serve import ReproServer, TenantTable
 
+    if args.tenants is not None:
+        try:
+            tenants = TenantTable.from_file(args.tenants)
+        except (OSError, ValueError) as err:
+            print(f"error: bad --tenants file: {err}", file=sys.stderr)
+            return 2
+    else:
+        tenants = TenantTable(default_weight=args.default_weight)
     session = _session(args, default_backend="analytic")
     server = ReproServer(session, host=args.host, port=args.port,
                          max_batch=args.max_batch,
@@ -343,7 +351,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          request_timeout_s=args.request_timeout,
                          coalesce=not args.no_coalesce,
                          registry_max_bytes=args.registry_max_mib
-                         * 1024 * 1024)
+                         * 1024 * 1024,
+                         tenants=tenants,
+                         scheduling=args.scheduling)
     try:
         asyncio.run(server.run_forever())
     except KeyboardInterrupt:
@@ -585,6 +595,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="byte cap (MiB) on the content-addressed "
                               "operand registry; beyond it LRU operands "
                               "are evicted (default: %(default)s)")
+    p_serve.add_argument("--tenants", default=None, metavar="FILE",
+                         help="tenant policy JSON: {\"default_weight\": N, "
+                              "\"tenants\": {name: {weight, rate_rps, "
+                              "burst, max_in_flight}}}")
+    p_serve.add_argument("--default-weight", type=float, default=1.0,
+                         help="WFQ weight for tenants not named in "
+                              "--tenants (default: %(default)s)")
+    p_serve.add_argument("--scheduling", choices=("fair", "fifo"),
+                         default="fair",
+                         help="queue order: 'fair' (WFQ across tenants, "
+                              "EDF within each) or 'fifo' (arrival "
+                              "order) (default: %(default)s)")
     add_session(p_serve, default="analytic")
     p_serve.set_defaults(func=cmd_serve)
 

@@ -10,6 +10,11 @@ job across all chips and packing whole jobs onto individual chips on
 multi-chip fleets, and :class:`ReproServer` fronts the whole stack with a
 stdlib-only asyncio HTTP/1.1 + JSON server (``repro serve`` on the CLI).
 
+The queue is multi-tenant (see :mod:`repro.serve.sched`): per-tenant
+EDF lanes under weighted fair queueing, token-bucket/quota admission
+control with computed ``Retry-After`` hints, and per-tenant accounting
+surfaced at ``GET /v1/tenants``.
+
 Serving results are byte-identical to a direct ``session.run`` of the
 same spec; micro-batching only changes *when* and *where* work runs,
 never what it computes.
@@ -34,12 +39,24 @@ from repro.serve.policy import (
 )
 from repro.serve.queue import (
     DEFAULT_QUEUE_DEPTH,
+    FAIR_SCHEDULING,
+    FIFO_SCHEDULING,
     QueueClosed,
     QueueOverflow,
     RequestQueue,
     ServeError,
     ServeRequest,
     ServeTimeout,
+)
+from repro.serve.sched import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    AdmissionError,
+    QuotaExceeded,
+    RateLimited,
+    TenantConfig,
+    TenantTable,
+    WFQScheduler,
 )
 
 __all__ = [
@@ -61,4 +78,14 @@ __all__ = [
     "DEFAULT_MAX_DELAY_MS",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_REQUEST_TIMEOUT_S",
+    "DEFAULT_TENANT",
+    "FAIR_SCHEDULING",
+    "FIFO_SCHEDULING",
+    "AdmissionController",
+    "AdmissionError",
+    "RateLimited",
+    "QuotaExceeded",
+    "TenantConfig",
+    "TenantTable",
+    "WFQScheduler",
 ]

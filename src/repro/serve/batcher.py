@@ -19,14 +19,30 @@ and dispatches it through the serving session:
 * **Isolation**: a failing request fails *its* future; the batch falls
   back to per-spec execution so one poison request cannot take down its
   batch-mates.
+* **Tenant billing**: the queue's WFQ scheduler charges every selected
+  request one unit of virtual time; the batcher refunds the requests
+  that did not consume an execution — coalesced duplicates (the shared
+  run is billed once, to the earliest-deadline owner, while every
+  tenant is billed its own latency), cancellations, and expired
+  deadlines.
 * **Lifecycle**: cancelled futures are skipped through the standard
-  ``set_running_or_notify_cancel`` handshake, expired deadlines fail with
-  :class:`~repro.serve.queue.ServeTimeout`, and :meth:`MicroBatcher.stop`
-  drains the queue, serves what is left, and fails anything unservable.
+  ``set_running_or_notify_cancel`` handshake, expired deadlines fail
+  with a structured :class:`~repro.serve.queue.ServeTimeout` (tenant +
+  queued milliseconds, counted as a per-tenant deadline miss), and
+  :meth:`MicroBatcher.stop` drains the queue, serves what is left, and
+  fails anything unservable.
 
 :class:`ServingStats` aggregates the counters the ``/stats`` endpoint
 reports: queue depth, batch-size distribution, coalescing and shed
-counts, scheduling decisions, cache hit rate, and p50/p95 latency.
+counts, scheduling decisions, cache hit rate, p50/p95 latency, and the
+per-tenant accounting rows (admitted / rejected / deadline misses /
+p50/p95) that ``GET /v1/tenants`` serves.
+
+The batcher also keeps an EWMA of measured batch makespans (on the
+analytic backend these are the model's predicted batch costs, since the
+analytic backend *is* the execution): :meth:`MicroBatcher.\
+predicted_makespan_s` turns queue depth into a backlog-drain estimate —
+the ``Retry-After`` hint admission control hands rejected clients.
 """
 
 from __future__ import annotations
@@ -50,6 +66,7 @@ from repro.serve.policy import (
     ALL_CHIPS_PER_JOB,
     ScheduleDecision,
     choose_schedule,
+    predicted_backlog_makespan_s,
 )
 from repro.serve.queue import (
     QueueClosed,
@@ -57,6 +74,7 @@ from repro.serve.queue import (
     ServeRequest,
     ServeTimeout,
 )
+from repro.serve.sched.edf import deadline_key
 
 #: Default micro-batch bounds: dispatch as soon as 8 requests are waiting,
 #: or after 5 ms, whichever comes first.
@@ -66,6 +84,14 @@ DEFAULT_MAX_DELAY_MS = 5.0
 #: Reservoir size for the latency / batch-size distributions.
 _RESERVOIR = 2048
 
+#: Per-tenant latency reservoir size (smaller: one per tenant).
+_TENANT_RESERVOIR = 512
+
+#: Batch-makespan EWMA: seed before the first measured batch, and the
+#: new-sample weight once batches are flowing.
+DEFAULT_BATCH_SECONDS = 0.05
+_MAKESPAN_ALPHA = 0.2
+
 
 def _percentile(sample: list[float], fraction: float) -> float:
     """Nearest-rank percentile of an unsorted sample (0.0 when empty)."""
@@ -74,6 +100,41 @@ def _percentile(sample: list[float], fraction: float) -> float:
     ordered = sorted(sample)
     rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
     return ordered[rank]
+
+
+class _TenantCounters:
+    """One tenant's accounting row (guarded by the owning
+    :class:`ServingStats` lock)."""
+
+    __slots__ = ("admitted", "rejected_rate", "rejected_quota",
+                 "rejected_queue", "deadline_misses", "responses",
+                 "failures", "latencies")
+
+    def __init__(self) -> None:
+        self.admitted = 0          # accepted into the queue
+        self.rejected_rate = 0     # 429: token bucket empty
+        self.rejected_quota = 0    # 429: in-flight quota
+        self.rejected_queue = 0    # 503: bounded queue full
+        self.deadline_misses = 0   # 504: expired before dispatch
+        self.responses = 0
+        self.failures = 0
+        self.latencies: deque[float] = deque(maxlen=_TENANT_RESERVOIR)
+
+    def snapshot(self) -> dict:
+        latencies = list(self.latencies)
+        return {
+            "admitted": self.admitted,
+            "rejected": (self.rejected_rate + self.rejected_quota
+                         + self.rejected_queue),
+            "rejected_rate": self.rejected_rate,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "deadline_misses": self.deadline_misses,
+            "responses": self.responses,
+            "failures": self.failures,
+            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        }
 
 
 class ServingStats:
@@ -101,6 +162,7 @@ class ServingStats:
         self._gnn_cycles_per_layer: float | None = None  # guarded-by: _lock
         self._batch_sizes: deque[int] = deque(maxlen=_RESERVOIR)  # guarded-by: _lock
         self._latencies: deque[float] = deque(maxlen=_RESERVOIR)  # guarded-by: _lock
+        self._tenants: dict[str, _TenantCounters] = {}  # guarded-by: _lock
         # Last observed multichip load-balance telemetry (the autoscaler's
         # per-batch imbalance signal): shard skew, scale-out efficiency,
         # and the partition strategy the planner chose.
@@ -122,6 +184,57 @@ class ServingStats:
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self._latencies.append(seconds)
+
+    # -- per-tenant accounting -----------------------------------------
+    def _tenant(self, name: str) -> _TenantCounters:  # lockcheck: holds _lock
+        counters = self._tenants.get(name)
+        if counters is None:
+            counters = _TenantCounters()
+            self._tenants[name] = counters
+        return counters
+
+    def record_admitted(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).admitted += 1
+
+    def record_rejected(self, tenant: str, reason: str) -> None:
+        """One admission rejection: ``reason`` is ``rate`` (429 token
+        bucket), ``quota`` (429 in-flight cap) or ``queue`` (503 bounded
+        queue)."""
+        if reason not in ("rate", "quota", "queue"):
+            raise ValueError(f"unknown rejection reason {reason!r}")
+        with self._lock:
+            counters = self._tenant(tenant)
+            setattr(counters, f"rejected_{reason}",
+                    getattr(counters, f"rejected_{reason}") + 1)
+
+    def record_deadline_miss(self, tenant: str) -> None:
+        with self._lock:
+            self.timeouts += 1
+            self._tenant(tenant).deadline_misses += 1
+
+    def record_response(self, tenant: str, seconds: float) -> None:
+        """One resolved request: global + per-tenant response count and
+        latency sample (each coalesced duplicate is billed its *own*
+        latency here; only the WFQ work charge is shared)."""
+        with self._lock:
+            self.responses += 1
+            self._latencies.append(seconds)
+            counters = self._tenant(tenant)
+            counters.responses += 1
+            counters.latencies.append(seconds)
+
+    def record_failure(self, tenant: str | None = None) -> None:
+        with self._lock:
+            self.failures += 1
+            if tenant is not None:
+                self._tenant(tenant).failures += 1
+
+    def tenant_snapshot(self) -> dict[str, dict]:
+        """Per-tenant accounting rows (``GET /v1/tenants``)."""
+        with self._lock:
+            return {name: counters.snapshot()
+                    for name, counters in self._tenants.items()}
 
     def record_gnn(self, metrics: dict) -> None:
         """Record one served GNN stack's per-stack metrics."""
@@ -154,7 +267,10 @@ class ServingStats:
         with self._lock:
             sizes = list(self._batch_sizes)
             latencies = list(self._latencies)
+            tenants = {name: counters.snapshot()
+                       for name, counters in self._tenants.items()}
             row = {
+                "tenants": tenants,
                 "uptime_s": round(time.monotonic() - self.started_at, 3),
                 "queue_depth": queue_depth,
                 "requests": self.requests,
@@ -309,6 +425,26 @@ class MicroBatcher:
         self.stats = stats if stats is not None else ServingStats()
         self._thread: threading.Thread | None = None
         self._scale_out_session: Session | None = None
+        # EWMA of measured batch makespans; written only by the dispatch
+        # thread, read racily (a float hint) by admission control.
+        self._batch_seconds_ewma: float | None = None
+
+    # ------------------------------------------------------------------
+    # Backlog makespan prediction (Retry-After hints)
+    # ------------------------------------------------------------------
+    def predicted_batch_seconds(self) -> float:
+        """Predicted makespan of one micro-batch: the EWMA of measured
+        batch walls (on the analytic backend, the model's predicted
+        batch cost), or a small seed before the first batch lands."""
+        ewma = self._batch_seconds_ewma
+        return ewma if ewma is not None else DEFAULT_BATCH_SECONDS
+
+    def predicted_makespan_s(self) -> float:
+        """Predicted seconds to drain the current backlog plus one more
+        request — what admission control quotes as ``Retry-After``."""
+        return predicted_backlog_makespan_s(self.queue.depth,
+                                            self.max_batch,
+                                            self.predicted_batch_seconds())
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -361,27 +497,35 @@ class MicroBatcher:
                 future.set_exception(error)
             except Exception:  # noqa: BLE001 - cancelled mid-flight
                 continue
-            self.stats.add("failures")
+            self.stats.record_failure(request.tenant)
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _serve_batch(self, batch: list[ServeRequest]) -> None:
-        now = time.monotonic()
+        # One clock read covers the whole admission sweep: expiry checks
+        # and queued-time accounting all key off `started`.
+        started = time.monotonic()
         live: list[ServeRequest] = []
         for request in batch:
             if not request.future.set_running_or_notify_cancel():
                 self.stats.add("cancelled")
+                self.queue.refund(request.tenant)
                 continue
-            if request.expired(now):
-                self.stats.add("timeouts")
+            if request.expired(started):
+                self.stats.record_deadline_miss(request.tenant)
+                self.queue.refund(request.tenant)
+                queued_ms = round(request.queued_ms(started), 3)
                 request.future.set_exception(ServeTimeout(
-                    "request deadline expired while queued"))
+                    f"request deadline expired after {queued_ms:.0f}ms "
+                    "in queue", tenant=request.tenant,
+                    queued_ms=queued_ms))
                 continue
             live.append(request)
         if not live:
             return
         groups = self._group(live)
+        self._bill_coalesced(groups)
         try:
             decision = self.policy([group[0][0].spec for group in groups],
                                    self.session.topology)
@@ -403,6 +547,30 @@ class MicroBatcher:
         for group, result in zip(groups, results):
             self._resolve(group, result)
         self.stats.record_batch(len(live), decision)
+        # Fold this batch's measured makespan into the EWMA feeding
+        # admission control's Retry-After estimates.  Single writer (the
+        # dispatch thread); readers treat it as a racy float hint.
+        wall = time.monotonic() - started
+        previous = self._batch_seconds_ewma
+        if previous is None:
+            self._batch_seconds_ewma = wall
+        else:
+            self._batch_seconds_ewma = (
+                (1.0 - _MAKESPAN_ALPHA) * previous + _MAKESPAN_ALPHA * wall)
+
+    def _bill_coalesced(
+            self, groups: list[list[tuple[ServeRequest, bool]]]) -> None:
+        """Refund WFQ charges for coalesced duplicates so each shared
+        execution is billed exactly once — to the member with the
+        earliest deadline (ties: arrival order).  Latency accounting is
+        unaffected: every request still records its own response time."""
+        for group in groups:
+            if len(group) < 2:
+                continue
+            owner, _ = min(group, key=lambda pair: deadline_key(pair[0]))
+            for request, _is_primary in group:
+                if request is not owner:
+                    self.queue.refund(request.tenant)
 
     def _group(self, live: list[ServeRequest]
                ) -> list[list[tuple[ServeRequest, bool]]]:
@@ -442,7 +610,7 @@ class MicroBatcher:
                 self.stats.record_gnn(metrics)
         for request, is_primary in group:
             if isinstance(result, Exception):
-                self.stats.add("failures")
+                self.stats.record_failure(request.tenant)
                 request.future.set_exception(result)
                 continue
             value: RunResult = result
@@ -450,8 +618,8 @@ class MicroBatcher:
                 # A coalesced duplicate: same execution, its own label.
                 value = _replace_result(value, label=request.spec.label)
             request.future.set_result(value)
-            self.stats.add("responses")
-            self.stats.record_latency(done - request.enqueued_at)
+            self.stats.record_response(request.tenant,
+                                       done - request.enqueued_at)
 
     # ------------------------------------------------------------------
     # Whole-jobs-per-chip twin session

@@ -15,7 +15,13 @@ Endpoints::
     GET  /stats               queue depth, batch sizes, coalescing, shed
                               count, scheduling decisions, cache hit rate,
                               p50/p95 latency, bytes in/out, registry
-                              hit/eviction counters, multichip telemetry
+                              hit/eviction counters, multichip telemetry,
+                              per-tenant accounting rows
+    GET  /v1/tenants          per-tenant policy (weight, rate, quota),
+                              admission state (in-flight, tokens), WFQ
+                              accounting (vtime, charged/refunded) and
+                              serving counters (admitted, rejected,
+                              deadline misses, p50/p95)
     PUT  /v1/operands         register an operand (binary x-repro-csr
                               frame, inline JSON arrays, or a named
                               generator dataset) -> content-digest ref
@@ -44,10 +50,18 @@ raw CSR arrays of the product.  An SpGEMM request with ``Accept:
 application/x-repro-csr`` receives the product as a **binary frame**
 instead (the metrics row rides in the frame's metadata blob), streamed
 with chunked transfer once it crosses :data:`CHUNKED_MIN_BYTES` so large
-products are never buffered twice.  Backpressure maps to ``503`` (the
-bounded queue load-shed), expired deadlines to ``504``, malformed bodies
-(JSON or binary frames) to ``400``, unsupported ``Content-Type`` to
-``415``, dangling operand refs to ``404``, and oversized bodies to
+products are never buffered twice.
+
+Workload requests identify their tenant with the ``X-Repro-Tenant``
+header (absent -> the ``default`` tenant); scheduling, admission control
+and accounting all key off it.  Admission rejections map to ``429``
+(token-bucket rate limit or in-flight quota) with a ``Retry-After``
+header and a ``retry_after_s`` body field derived from the predicted
+backlog makespan; bounded-queue overflow maps to ``503`` (same
+``Retry-After`` arithmetic); expired deadlines to a structured ``504``
+``{"error": "deadline", "tenant": ..., "queued_ms": ...}``; malformed
+bodies (JSON or binary frames) to ``400``; unsupported ``Content-Type``
+to ``415``; dangling operand refs to ``404``; and oversized bodies to
 ``413`` — rejected from the ``Content-Length`` header alone, before any
 body bytes are buffered.
 
@@ -62,6 +76,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import re
 import signal
 import threading
 from collections import OrderedDict
@@ -85,10 +101,18 @@ from repro.serve.batcher import (
 )
 from repro.serve.queue import (
     DEFAULT_QUEUE_DEPTH,
+    FAIR_SCHEDULING,
     QueueClosed,
     QueueOverflow,
     RequestQueue,
     ServeTimeout,
+)
+from repro.serve.sched import (
+    AdmissionController,
+    AdmissionError,
+    DEFAULT_TENANT,
+    QuotaExceeded,
+    TenantTable,
 )
 from repro.serve.registry import (
     DEFAULT_REGISTRY_BYTES,
@@ -129,9 +153,15 @@ _ACCEPTED_CONTENT_TYPES = ("", "application/json", WIRE_CONTENT_TYPE)
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 406: "Not Acceptable",
                 409: "Conflict", 413: "Payload Too Large",
-                415: "Unsupported Media Type",
+                415: "Unsupported Media Type", 429: "Too Many Requests",
                 500: "Internal Server Error", 503: "Service Unavailable",
                 504: "Gateway Timeout"}
+
+#: Request header naming the calling tenant (absent -> default tenant).
+TENANT_HEADER = "x-repro-tenant"
+
+#: Accepted tenant names: short, filesystem/log-safe identifiers.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 def _jsonable(value: Any) -> Any:
@@ -213,6 +243,11 @@ class ReproServer:
         coalesce: serve operand-identical requests from one execution.
         registry_max_bytes: byte cap on the content-addressed operand
             registry (LRU-swept beyond it).
+        tenants: multi-tenant policy table (weights, rate limits,
+            quotas); a fresh default table when omitted, so
+            single-tenant deployments need no setup.
+        scheduling: queue ordering — ``"fair"`` (WFQ across tenants, EDF
+            within each; the default) or ``"fifo"`` (arrival order).
     """
 
     def __init__(self, session: Session, host: str = "127.0.0.1",
@@ -222,14 +257,23 @@ class ReproServer:
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
                  coalesce: bool = True,
-                 registry_max_bytes: int = DEFAULT_REGISTRY_BYTES) -> None:
+                 registry_max_bytes: int = DEFAULT_REGISTRY_BYTES,
+                 tenants: TenantTable | None = None,
+                 scheduling: str = FAIR_SCHEDULING) -> None:
         self.session = session
         self.host = host
         self.port = port
         self.request_timeout_s = request_timeout_s
         self.stats = ServingStats()
         self.registry = OperandRegistry(registry_max_bytes)
-        self.queue = RequestQueue(max_depth=queue_depth)
+        self.tenants = tenants if tenants is not None else TenantTable()
+        self.admission = AdmissionController(
+            self.tenants,
+            makespan_fn=lambda: self.batcher.predicted_makespan_s())
+        self.queue = RequestQueue(
+            max_depth=queue_depth, tenants=self.tenants,
+            admission=self.admission, scheduling=scheduling,
+            retry_after_fn=lambda: self.batcher.predicted_makespan_s())
         self.batcher = MicroBatcher(session, self.queue,
                                     max_batch=max_batch,
                                     max_delay_ms=max_delay_ms,
@@ -367,10 +411,17 @@ class ReproServer:
             await self._respond_binary(writer, status_line, payload,
                                        connection)
             return
+        retry_after = payload.pop("_retry_after", None)
+        extra = ""
+        if retry_after is not None:
+            # The body keeps the precise float; the header is the
+            # integer-seconds form proxies and clients understand.
+            extra = f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
         body = json.dumps(_jsonable(payload)).encode()
         head = (f"{status_line}"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: {connection}\r\n\r\n")
         writer.write(head.encode("latin-1") + body)
         self.stats.add("bytes_out", len(body))
@@ -447,21 +498,43 @@ class ReproServer:
         if path.startswith("/v1/operands/"):
             digest = path[len("/v1/operands/"):]
             return self._operand_item(method, digest, headers)
-        if path == "/v1/spgemm":
+        if path == "/v1/tenants":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._tenants_payload()
+        if path in ("/v1/spgemm", "/v1/gcn", "/v1/gnn"):
             if method != "POST":
                 return 405, {"error": "use POST"}
-            return await self._serve_spgemm(body, headers)
-        if path == "/v1/gcn":
-            if method != "POST":
-                return 405, {"error": "use POST"}
-            return await self._serve_gcn(body, headers)
-        if path == "/v1/gnn":
-            if method != "POST":
-                return 405, {"error": "use POST"}
-            return await self._serve_gnn(body, headers)
+            raw_tenant = headers.get(TENANT_HEADER, DEFAULT_TENANT)
+            if not _TENANT_RE.match(raw_tenant):
+                return 400, {"error": f"invalid {TENANT_HEADER} header: "
+                                      "1-64 chars, [A-Za-z0-9._-], must "
+                                      "start alphanumeric"}
+            tenant = self.tenants.resolve_name(raw_tenant)
+            if path == "/v1/spgemm":
+                return await self._serve_spgemm(body, headers, tenant)
+            if path == "/v1/gcn":
+                return await self._serve_gcn(body, headers, tenant)
+            return await self._serve_gnn(body, headers, tenant)
         return 404, {"error": f"unknown path {path!r}; endpoints: "
-                              "/healthz /stats /v1/operands "
+                              "/healthz /stats /v1/operands /v1/tenants "
                               "/v1/spgemm /v1/gcn /v1/gnn"}
+
+    def _tenants_payload(self) -> dict:
+        """``GET /v1/tenants``: configured policies, admission state,
+        WFQ accounting, and per-tenant serving counters, merged by name."""
+        rows: dict[str, dict] = {}
+        for name, config in self.tenants.describe().items():
+            rows.setdefault(name, {})["config"] = config
+        for name, state in self.admission.snapshot().items():
+            rows.setdefault(name, {})["admission"] = state
+        for name, account in self.queue.accounting().items():
+            rows.setdefault(name, {})["scheduling"] = account
+        for name, counters in self.stats.tenant_snapshot().items():
+            rows.setdefault(name, {})["serving"] = counters
+        return {"tenants": rows,
+                "scheduling": self.queue.scheduling,
+                "default_tenant": DEFAULT_TENANT}
 
     # ------------------------------------------------------------------
     # Operand registry endpoints
@@ -546,7 +619,8 @@ class ReproServer:
                 self._datasets.popitem(last=False)
         return dataset
 
-    async def _serve_spgemm(self, body: bytes, headers: dict[str, str]
+    async def _serve_spgemm(self, body: bytes, headers: dict[str, str],
+                            tenant: str = DEFAULT_TENANT
                             ) -> "tuple[int, dict | _BinaryPayload]":
         binary = _accepts_wire(headers)
         try:
@@ -580,7 +654,7 @@ class ReproServer:
             spec, pins = self.registry.resolve(spec)
         except UnknownOperand as err:
             return 404, {"error": str(err)}
-        status, row = await self._submit(spec, timeout, pins)
+        status, row = await self._submit(spec, timeout, pins, tenant)
         if status != 200:
             return status, row
         if binary:
@@ -602,8 +676,8 @@ class ReproServer:
             row.pop("_result", None)
         return status, row
 
-    async def _serve_gcn(self, body: bytes, headers: dict[str, str]
-                         ) -> tuple[int, dict]:
+    async def _serve_gcn(self, body: bytes, headers: dict[str, str],
+                         tenant: str = DEFAULT_TENANT) -> tuple[int, dict]:
         if _accepts_wire(headers):
             return 406, {"error": "GCN layer output is dense; "
                                   f"{WIRE_CONTENT_TYPE} responses are "
@@ -648,12 +722,12 @@ class ReproServer:
             for pin in pins:
                 pin.release()
             return 400, {"error": str(err)}
-        status, row = await self._submit(spec, timeout, pins)
+        status, row = await self._submit(spec, timeout, pins, tenant)
         row.pop("_result", None)
         return status, row
 
-    async def _serve_gnn(self, body: bytes, headers: dict[str, str]
-                         ) -> tuple[int, dict]:
+    async def _serve_gnn(self, body: bytes, headers: dict[str, str],
+                         tenant: str = DEFAULT_TENANT) -> tuple[int, dict]:
         """One multi-layer GNN stack over a resident graph.
 
         Body: ``{"dataset": "cora" | {"ref": <digest>}, "layer_dims":
@@ -712,23 +786,42 @@ class ReproServer:
             for pin in pins:
                 pin.release()
             return 400, {"error": str(err)}
-        status, row = await self._submit(spec, timeout, pins)
+        status, row = await self._submit(spec, timeout, pins, tenant)
         row.pop("_result", None)
         return status, row
 
-    async def _submit(self, spec, timeout_s: float,
-                      pins: tuple = ()) -> tuple[int, dict]:
+    async def _submit(self, spec, timeout_s: float, pins: tuple = (),
+                      tenant: str = DEFAULT_TENANT) -> tuple[int, dict]:
         """Enqueue one spec and await its future; maps serving-layer
         failure modes onto HTTP status codes.  ``pins`` (operand-registry
         holds) ride on the request and release when its future resolves;
         if the queue refuses the request they are released here."""
         self.stats.add("requests")
         try:
-            request = self.queue.put(spec, timeout_s=timeout_s, pins=pins)
-        except (QueueOverflow, QueueClosed) as err:
+            request = self.queue.put(spec, timeout_s=timeout_s, pins=pins,
+                                     tenant=tenant)
+        except AdmissionError as err:
+            for pin in pins:
+                pin.release()
+            reason = "quota" if isinstance(err, QuotaExceeded) else "rate"
+            self.stats.record_rejected(err.tenant, reason)
+            return err.status, {"error": str(err), "tenant": err.tenant,
+                                "retry_after_s": round(err.retry_after_s, 3),
+                                "_retry_after": err.retry_after_s}
+        except QueueOverflow as err:
+            for pin in pins:
+                pin.release()
+            self.stats.record_rejected(tenant, "queue")
+            body = {"error": str(err), "tenant": tenant}
+            if err.retry_after_s is not None:
+                body["retry_after_s"] = round(err.retry_after_s, 3)
+                body["_retry_after"] = err.retry_after_s
+            return 503, body
+        except QueueClosed as err:
             for pin in pins:
                 pin.release()
             return 503, {"error": str(err)}
+        self.stats.record_admitted(request.tenant)
         try:
             # Small grace over the queue deadline so batcher-side timeouts
             # (ServeTimeout) win the race and report precisely.
@@ -736,9 +829,13 @@ class ReproServer:
                 asyncio.wrap_future(request.future), timeout_s + 1.0)
         except asyncio.TimeoutError:
             request.cancel()
-            return 504, {"error": f"request timed out after {timeout_s}s"}
+            return 504, {"error": f"request timed out after {timeout_s}s",
+                         "tenant": request.tenant}
         except ServeTimeout as err:
-            return 504, {"error": str(err)}
+            return 504, {"error": "deadline",
+                         "detail": str(err),
+                         "tenant": err.tenant or request.tenant,
+                         "queued_ms": err.queued_ms}
         except asyncio.CancelledError:
             raise
         except QueueClosed as err:

@@ -68,6 +68,22 @@ class ScheduleDecision:
         return self.mode == WHOLE_JOBS_PER_CHIP
 
 
+def predicted_backlog_makespan_s(queue_depth: int, max_batch: int,
+                                 batch_seconds: float) -> float:
+    """Predicted seconds to drain ``queue_depth`` queued requests plus
+    one more (the request asking) through micro-batches of ``max_batch``,
+    each predicted to take ``batch_seconds``.
+
+    This is the serving layer's ``Retry-After`` arithmetic: the backlog
+    drains in ``ceil((depth + 1) / max_batch)`` waves, and each wave's
+    cost comes from the batcher's makespan EWMA (on the analytic backend,
+    the model's own predicted batch cost — see
+    :meth:`~repro.serve.batcher.MicroBatcher.predicted_batch_seconds`).
+    """
+    waves = max(1, math.ceil((max(0, queue_depth) + 1) / max(1, max_batch)))
+    return waves * max(0.0, batch_seconds)
+
+
 def _representative_spgemm(specs: Sequence[WorkloadSpec]) -> SpGEMMSpec | None:
     """The largest SpGEMM spec (by nnz of A) carrying a CSR-shaped operand
     — the one whose shard histogram dominates the batch makespan."""

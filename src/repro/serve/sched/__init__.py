@@ -1,0 +1,49 @@
+"""Multi-tenant scheduling for the serving layer.
+
+The layer between admission and execution:
+
+* :mod:`~repro.serve.sched.tenants` — tenant identity + policy
+  (:class:`TenantConfig`, :class:`TenantTable`, ``tenants.json``).
+* :mod:`~repro.serve.sched.edf` — earliest-deadline-first ordering
+  within one tenant (:class:`EDFQueue`).
+* :mod:`~repro.serve.sched.wfq` — weighted fair queueing across
+  tenants with virtual-time deficit accounting (:class:`WFQScheduler`).
+* :mod:`~repro.serve.sched.admission` — token-bucket rate limits and
+  in-flight quotas enforced at enqueue
+  (:class:`AdmissionController`, 429/503 + ``Retry-After``).
+
+The :class:`~repro.serve.queue.RequestQueue` composes all four:
+``put`` runs admission, ``get_batch`` selects in WFQ x EDF order, and
+the :class:`~repro.serve.batcher.MicroBatcher` refunds coalesced
+duplicates so shared executions are charged once.
+"""
+
+from repro.serve.sched.admission import (
+    AdmissionController,
+    AdmissionError,
+    QuotaExceeded,
+    RateLimited,
+)
+from repro.serve.sched.edf import EDFQueue, deadline_key
+from repro.serve.sched.tenants import (
+    DEFAULT_TENANT,
+    MAX_ADHOC_TENANTS,
+    TenantConfig,
+    TenantTable,
+)
+from repro.serve.sched.wfq import REQUEST_COST, WFQScheduler
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "QuotaExceeded",
+    "RateLimited",
+    "EDFQueue",
+    "deadline_key",
+    "DEFAULT_TENANT",
+    "MAX_ADHOC_TENANTS",
+    "TenantConfig",
+    "TenantTable",
+    "WFQScheduler",
+    "REQUEST_COST",
+]

@@ -1,0 +1,183 @@
+"""Admission control: reject at the door, never drop accepted work.
+
+The pre-scheduler serving layer had exactly one overload response: a
+blind 503 shed once the bounded queue filled, no matter who was asking
+or who caused the pressure.  Admission control moves the decision to
+enqueue time and makes it per-tenant:
+
+* **Token-bucket rate limits** (``rate_rps`` / ``burst`` on
+  :class:`~repro.serve.sched.tenants.TenantConfig`): each admitted
+  request takes one token; an empty bucket rejects with
+  :class:`RateLimited` (HTTP 429) and a ``Retry-After`` equal to the
+  time until the next token refills — the one number the client
+  actually needs.
+* **In-flight quotas** (``max_in_flight``): a cap on
+  admitted-but-unresolved requests per tenant, so one tenant cannot own
+  the whole bounded queue.  Violations reject with
+  :class:`QuotaExceeded` (HTTP 429) and a ``Retry-After`` derived from
+  the predicted makespan of the backlog (``makespan_fn`` — wired by
+  :class:`~repro.serve.http.ReproServer` to the micro-batcher's
+  analytic batch-makespan estimate).
+
+Crucially, admission is the *only* place multi-tenant serving says no:
+once a request is admitted it is never load-shed — the queue executes
+or (on shutdown/deadline) explicitly fails its future, so clients can
+trust a 200-accepted request to resolve.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable
+
+from repro.serve.sched.tenants import TenantTable
+
+#: Fallback Retry-After when no makespan estimate is available yet.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class AdmissionError(RuntimeError):
+    """A request was rejected at admission (HTTP ``status``); the caller
+    should retry after ``retry_after_s`` seconds."""
+
+    status = 503
+
+    def __init__(self, message: str, *, tenant: str,
+                 retry_after_s: float) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
+class RateLimited(AdmissionError):
+    """The tenant's token bucket is empty (HTTP 429)."""
+
+    status = 429
+
+
+class QuotaExceeded(AdmissionError):
+    """The tenant is at its in-flight quota (HTTP 429)."""
+
+    status = 429
+
+
+class _TokenBucket:
+    """Classic token bucket (externally synchronized by the controller).
+
+    ``tokens`` refills continuously at ``rate`` per second up to
+    ``capacity``; :meth:`take` consumes one token or reports how long
+    until one is available.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "stamp")
+
+    def __init__(self, rate: float, capacity: float) -> None:
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.stamp: float | None = None
+
+    def take(self, now: float) -> float:  # lockcheck: holds _lock
+        """Take one token; returns 0.0 on success, else the seconds
+        until the next token refills (and takes nothing)."""
+        if self.stamp is not None and now > self.stamp:
+            self.tokens = min(self.capacity,
+                              self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Per-tenant token buckets + in-flight quotas (thread-safe).
+
+    Args:
+        table: tenant policy lookup.
+        makespan_fn: zero-arg callable returning the predicted seconds to
+            drain the current backlog — the ``Retry-After`` for quota
+            and queue-pressure rejections.  ``None`` falls back to
+            :data:`DEFAULT_RETRY_AFTER_S`.
+    """
+
+    def __init__(self, table: TenantTable,
+                 makespan_fn: Callable[[], float] | None = None) -> None:
+        self.table = table
+        self.makespan_fn = makespan_fn
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _TokenBucket] = {}  # guarded-by: _lock
+        self._in_flight: dict[str, int] = {}  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    def predicted_makespan_s(self) -> float:
+        """Best-effort backlog-drain estimate for Retry-After hints."""
+        if self.makespan_fn is None:
+            return DEFAULT_RETRY_AFTER_S
+        try:
+            seconds = float(self.makespan_fn())
+        except Exception:  # noqa: BLE001 - a hint must never fail admission
+            return DEFAULT_RETRY_AFTER_S
+        if not math.isfinite(seconds) or seconds <= 0:
+            return DEFAULT_RETRY_AFTER_S
+        return seconds
+
+    def admit(self, tenant: str, now: float) -> None:
+        """Admit one request for ``tenant`` at time ``now`` (one
+        ``time.monotonic()`` hoisted by the caller), counting it
+        in-flight.  Raises :class:`RateLimited` / :class:`QuotaExceeded`
+        without counting anything on rejection.  Every admit must be
+        paired with exactly one :meth:`release` once the request's
+        future resolves."""
+        config = self.table.get(tenant)
+        tenant = config.name  # ad-hoc overflow may fold into default
+        with self._lock:
+            if config.max_in_flight is not None and \
+                    self._in_flight.get(tenant, 0) >= config.max_in_flight:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} is at its in-flight quota "
+                    f"({config.max_in_flight}); retry after the backlog "
+                    "drains", tenant=tenant,
+                    retry_after_s=self.predicted_makespan_s())
+            if config.rate_rps is not None:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = _TokenBucket(config.rate_rps,
+                                          config.bucket_capacity)
+                    self._buckets[tenant] = bucket
+                wait = bucket.take(now)
+                if wait > 0.0:
+                    raise RateLimited(
+                        f"tenant {tenant!r} exceeded its rate limit "
+                        f"({config.rate_rps:g} req/s)", tenant=tenant,
+                        retry_after_s=wait)
+            self._in_flight[tenant] = self._in_flight.get(tenant, 0) + 1
+
+    def release(self, tenant: str) -> None:
+        """Mark one admitted request resolved (idempotence is the
+        caller's job — the queue releases via a future done-callback,
+        which fires exactly once)."""
+        tenant = self.table.get(tenant).name
+        with self._lock:
+            count = self._in_flight.get(tenant, 0)
+            if count > 0:
+                self._in_flight[tenant] = count - 1
+
+    # ------------------------------------------------------------------
+    def in_flight(self, tenant: str) -> int:
+        with self._lock:
+            return self._in_flight.get(tenant, 0)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant admission state for ``GET /v1/tenants``."""
+        with self._lock:
+            rows = {}
+            for name in set(self._in_flight) | set(self._buckets):
+                bucket = self._buckets.get(name)
+                rows[name] = {
+                    "in_flight": self._in_flight.get(name, 0),
+                    "tokens": (round(bucket.tokens, 3)
+                               if bucket is not None else None),
+                }
+            return rows

@@ -1,0 +1,215 @@
+"""Tenant identity and policy: who is asking, and what are they owed.
+
+A *tenant* is the unit of isolation in the multi-tenant serving layer:
+requests carry a tenant name (the ``X-Repro-Tenant`` header over HTTP,
+``tenant=`` on :meth:`~repro.serve.queue.RequestQueue.put`), and every
+scheduling / admission / accounting decision is made per tenant.
+
+:class:`TenantConfig` is the per-tenant policy knob set:
+
+* ``weight`` — the weighted-fair-queueing share.  Over any window in
+  which two tenants are both backlogged, their served-work ratio tracks
+  their weight ratio (see :mod:`repro.serve.sched.wfq`).
+* ``rate_rps`` / ``burst`` — a token-bucket rate limit enforced at
+  admission (:mod:`repro.serve.sched.admission`); ``None`` = unlimited.
+* ``max_in_flight`` — cap on admitted-but-unresolved requests; ``None``
+  = unlimited.
+
+:class:`TenantTable` maps names to configs.  Unknown tenants are
+admitted with a default-policy config (``default_weight``, no limits) so
+a new caller never needs registration — but the table memoizes at most
+:data:`MAX_ADHOC_TENANTS` ad-hoc names; past that bound, unrecognised
+names share the default tenant's identity so client-controlled headers
+cannot grow server state without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Tenant name used when a request does not identify itself.
+DEFAULT_TENANT = "default"
+
+#: Bound on memoized ad-hoc (not explicitly configured) tenant names.
+MAX_ADHOC_TENANTS = 256
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant serving policy (immutable; see module docstring)."""
+
+    name: str
+    weight: float = 1.0
+    rate_rps: float | None = None
+    burst: float | None = None
+    max_in_flight: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not math.isfinite(self.weight) or self.weight <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: weight must be > 0, "
+                f"got {self.weight}")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: rate_rps must be > 0, "
+                f"got {self.rate_rps}")
+        if self.burst is not None:
+            if self.rate_rps is None:
+                raise ValueError(
+                    f"tenant {self.name!r}: burst requires rate_rps")
+            if self.burst < 1:
+                raise ValueError(
+                    f"tenant {self.name!r}: burst must be >= 1, "
+                    f"got {self.burst}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: max_in_flight must be >= 1, "
+                f"got {self.max_in_flight}")
+
+    @property
+    def bucket_capacity(self) -> float:
+        """Token-bucket capacity: explicit ``burst`` or one second of
+        refill (never below one token, so a conforming tenant can always
+        send at least one request)."""
+        if self.burst is not None:
+            return float(self.burst)
+        return max(1.0, float(self.rate_rps or 1.0))
+
+    def describe(self) -> dict:
+        """Flat row for ``GET /v1/tenants``."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "rate_rps": self.rate_rps,
+            "burst": self.burst if self.rate_rps is None
+            else self.bucket_capacity,
+            "max_in_flight": self.max_in_flight,
+        }
+
+
+class TenantTable:
+    """Thread-safe name -> :class:`TenantConfig` mapping with a default
+    policy for unknown tenants.
+
+    Args:
+        configs: explicitly configured tenants.
+        default_weight: WFQ weight granted to tenants not in ``configs``
+            (including the ``default`` tenant itself unless overridden).
+    """
+
+    def __init__(self, configs: "tuple[TenantConfig, ...] | list" = (),
+                 default_weight: float = 1.0) -> None:
+        if not math.isfinite(default_weight) or default_weight <= 0:
+            raise ValueError(
+                f"default_weight must be > 0, got {default_weight}")
+        self.default_weight = float(default_weight)
+        self._lock = threading.Lock()
+        self._configs: dict[str, TenantConfig] = {}  # guarded-by: _lock
+        self._explicit: tuple[str, ...] = ()
+        for config in configs:
+            if config.name in self._configs:
+                raise ValueError(f"duplicate tenant {config.name!r}")
+            self._configs[config.name] = config
+        self._explicit = tuple(self._configs)
+        self._adhoc = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, payload: dict,
+                  default_weight: float = 1.0) -> "TenantTable":
+        """Build a table from the ``tenants.json`` document format::
+
+            {"default_weight": 1,
+             "tenants": {
+                 "latency": {"weight": 4, "rate_rps": 200, "burst": 32,
+                             "max_in_flight": 64},
+                 "bulk": {"weight": 1}}}
+
+        A top-level object without a ``tenants`` key is treated as the
+        name -> config mapping directly.  ``default_weight`` in the file
+        overrides the argument.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("tenant config must be a JSON object")
+        mapping = payload.get("tenants", payload)
+        if not isinstance(mapping, dict):
+            raise ValueError("'tenants' must map names to config objects")
+        default_weight = float(payload.get("default_weight",
+                                           default_weight))
+        configs = []
+        for name, row in mapping.items():
+            if name == "default_weight":
+                continue
+            if not isinstance(row, dict):
+                raise ValueError(f"tenant {name!r}: config must be an "
+                                 "object")
+            unknown = set(row) - {"weight", "rate_rps", "burst",
+                                  "max_in_flight"}
+            if unknown:
+                raise ValueError(f"tenant {name!r}: unknown config keys "
+                                 f"{sorted(unknown)}")
+            configs.append(TenantConfig(
+                name=str(name),
+                weight=float(row.get("weight", default_weight)),
+                rate_rps=(None if row.get("rate_rps") is None
+                          else float(row["rate_rps"])),
+                burst=(None if row.get("burst") is None
+                       else float(row["burst"])),
+                max_in_flight=(None if row.get("max_in_flight") is None
+                               else int(row["max_in_flight"]))))
+        return cls(configs, default_weight=default_weight)
+
+    @classmethod
+    def from_file(cls, path: "str | Path",
+                  default_weight: float = 1.0) -> "TenantTable":
+        """Load :meth:`from_json` from a file path."""
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_json(json.loads(text),
+                             default_weight=default_weight)
+
+    # ------------------------------------------------------------------
+    def resolve_name(self, name: str) -> str:
+        """Canonical tenant identity for ``name``: itself while known or
+        while the ad-hoc memo has room, the default tenant beyond that."""
+        with self._lock:
+            if name in self._configs:
+                return name
+            if name != DEFAULT_TENANT and self._adhoc >= MAX_ADHOC_TENANTS:
+                return DEFAULT_TENANT
+        return name
+
+    def get(self, name: str) -> TenantConfig:
+        """The config for ``name``, memoizing a default-policy config for
+        unknown tenants (bounded; see :meth:`resolve_name`)."""
+        with self._lock:
+            config = self._configs.get(name)
+            if config is not None:
+                return config
+            if name != DEFAULT_TENANT and self._adhoc >= MAX_ADHOC_TENANTS:
+                name = DEFAULT_TENANT
+                config = self._configs.get(name)
+                if config is not None:
+                    return config
+            config = TenantConfig(name=name, weight=self.default_weight)
+            self._configs[name] = config
+            if name != DEFAULT_TENANT:
+                self._adhoc += 1
+            return config
+
+    def known(self) -> tuple[str, ...]:
+        """Every name seen so far (explicit first, then ad-hoc)."""
+        with self._lock:
+            return tuple(self._configs)
+
+    def describe(self) -> dict[str, dict]:
+        """Name -> policy row for every known tenant
+        (``GET /v1/tenants``)."""
+        with self._lock:
+            return {name: config.describe()
+                    for name, config in self._configs.items()}

@@ -1,0 +1,151 @@
+"""Weighted fair queueing across tenants, EDF within each tenant.
+
+:class:`WFQScheduler` is the ordering brain of the multi-tenant request
+queue.  Each tenant owns a *lane*: an
+:class:`~repro.serve.sched.edf.EDFQueue` plus a **virtual time** — the
+lane's cumulative charged work divided by its configured weight.
+Selection always serves the backlogged lane with the smallest virtual
+time (ties broken by the earliest head deadline, then arrival id), and
+charges the served lane ``REQUEST_COST / weight`` of virtual time per
+request.  Two properties fall out:
+
+* **Weighted shares.**  Over any window in which two lanes stay
+  backlogged, their served-request counts track their weight ratio
+  (each selection advances the chosen lane's virtual time inversely to
+  its weight, so a weight-4 lane is chosen 4x as often as a weight-1
+  lane before their virtual times meet again).
+* **Work conservation.**  Selection only ever considers backlogged
+  lanes: an idle latency tenant leaves its capacity to whoever is
+  backlogged, and a lane re-entering the backlog is lifted to the
+  scheduler's current virtual time (it cannot bank credit while idle and
+  then lock out everyone else with a burst).
+
+Accounting is explicit so the micro-batcher can bill *coalesced* work
+correctly: :meth:`select` charges every popped request to its own lane,
+and the batcher then :meth:`refund`\\ s the duplicates so one shared
+execution is charged exactly once — to the earliest-deadline owner
+(see ``MicroBatcher._bill_coalesced``).  Cancelled and deadline-expired
+requests are refunded too: virtual time only ever accounts for work
+that actually executed, which is the conservation invariant the
+property tests pin down.
+
+Like :class:`EDFQueue`, the scheduler is externally synchronized by the
+owning :class:`~repro.serve.queue.RequestQueue`'s condition lock
+(``guarded-by: _condition`` / ``lockcheck: holds`` annotations below).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.serve.sched.edf import EDFQueue
+from repro.serve.sched.tenants import TenantConfig, TenantTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.queue import ServeRequest
+
+#: Virtual-time cost of one request.  Requests are charged uniformly:
+#: the serving layer's unit of admission is the request, and the
+#: micro-batcher's coalescing refunds keep duplicates free.
+REQUEST_COST = 1.0
+
+
+class _Lane:
+    """One tenant's scheduling state (externally synchronized)."""
+
+    __slots__ = ("config", "queue", "vtime", "charged", "refunded")
+
+    def __init__(self, config: TenantConfig, vtime: float) -> None:
+        self.config = config
+        self.queue = EDFQueue()
+        self.vtime = vtime      # cumulative charged work / weight
+        self.charged = 0.0      # total work charged (REQUEST_COST units)
+        self.refunded = 0.0     # total work refunded (coalesced/cancelled)
+
+
+class WFQScheduler:
+    """Virtual-time weighted fair queueing over per-tenant EDF lanes."""
+
+    def __init__(self, table: TenantTable | None = None) -> None:
+        self.table = table if table is not None else TenantTable()
+        self._lanes: dict[str, _Lane] = {}  # guarded-by: _condition
+        self._vnow = 0.0  # guarded-by: _condition — scheduler virtual clock
+        self._backlog = 0  # guarded-by: _condition — queued requests
+
+    # ------------------------------------------------------------------
+    def _lane(self, tenant: str) -> _Lane:  # lockcheck: holds _condition
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _Lane(self.table.get(tenant), self._vnow)
+            self._lanes[tenant] = lane
+        return lane
+
+    @property
+    def backlog(self) -> int:
+        """Number of queued (not yet selected) requests."""
+        return self._backlog
+
+    # ------------------------------------------------------------------
+    def push(self, request: "ServeRequest") -> None:  # lockcheck: holds _condition
+        """Enqueue one request into its tenant's EDF lane."""
+        lane = self._lane(request.tenant)
+        if not lane.queue:
+            # Re-entering the backlog: no banked credit from idle time.
+            lane.vtime = max(lane.vtime, self._vnow)
+        lane.queue.push(request)
+        self._backlog += 1
+
+    def select(self, max_n: int) -> list["ServeRequest"]:  # lockcheck: holds _condition
+        """Pop up to ``max_n`` requests in WFQ x EDF order, charging each
+        popped request :data:`REQUEST_COST` to its tenant's lane."""
+        batch: list["ServeRequest"] = []
+        while len(batch) < max_n and self._backlog:
+            lane = min(
+                (candidate for candidate in self._lanes.values()
+                 if candidate.queue),
+                key=lambda c: (c.vtime, c.queue.head_key()))
+            request = lane.queue.pop()
+            self._backlog -= 1
+            self._vnow = max(self._vnow, lane.vtime)
+            lane.vtime += REQUEST_COST / lane.config.weight
+            lane.charged += REQUEST_COST
+            batch.append(request)
+        return batch
+
+    def refund(self, tenant: str,  # lockcheck: holds _condition
+               cost: float = REQUEST_COST) -> None:
+        """Return ``cost`` of charged work to ``tenant`` — used when a
+        selected request did not consume an execution (coalesced into a
+        batch-mate's run, cancelled, or expired before dispatch)."""
+        lane = self._lane(tenant)
+        lane.vtime -= cost / lane.config.weight
+        lane.refunded += cost
+
+    def drain(self) -> list["ServeRequest"]:  # lockcheck: holds _condition
+        """Remove and return every queued request (shutdown path),
+        in arrival order."""
+        drained: list["ServeRequest"] = []
+        for lane in self._lanes.values():
+            drained.extend(lane.queue.drain())
+        self._backlog = 0
+        drained.sort(key=lambda request: request.request_id)
+        return drained
+
+    # ------------------------------------------------------------------
+    def accounting(self) -> dict[str, dict]:
+        """Per-tenant accounting snapshot: charged / refunded work (in
+        :data:`REQUEST_COST` units), net executed work, virtual time,
+        current backlog, and weight.  The conservation invariant the
+        property tests assert: ``sum(net over tenants) == executions``.
+        """
+        return {
+            name: {
+                "weight": lane.config.weight,
+                "vtime": lane.vtime,
+                "charged": lane.charged,
+                "refunded": lane.refunded,
+                "net": lane.charged - lane.refunded,
+                "backlog": len(lane.queue),
+            }
+            for name, lane in self._lanes.items()
+        }

@@ -146,14 +146,17 @@ class TestSpGEMMEndpoint:
         assert "missing" in payload["error"]
 
     def test_queue_overflow_maps_to_503(self, server, monkeypatch):
-        def shed(spec, timeout_s=None, pins=()):
-            raise QueueOverflow("request queue is full (test)")
+        def shed(spec, timeout_s=None, pins=(), tenant="default"):
+            raise QueueOverflow("request queue is full (test)",
+                                retry_after_s=0.25)
 
         monkeypatch.setattr(server.queue, "put", shed)
         status, payload = request(server, "POST", "/v1/spgemm",
                                   {"dataset": "wiki-Vote", "max_nodes": 96})
         assert status == 503
         assert "full" in payload["error"]
+        assert payload["tenant"] == "default"
+        assert payload["retry_after_s"] == 0.25
 
 
 class TestGCNEndpoint:
